@@ -1,0 +1,165 @@
+// Command bubblezero runs the full BubbleZERO system and streams its state
+// — the simulated equivalent of watching the paper's deployment logs.
+//
+//	bubblezero -duration 105m -door 65m:15s -door 85m:2m -csv trace.csv
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"bubblezero/internal/core"
+	"bubblezero/internal/thermal"
+	"bubblezero/internal/wsn"
+)
+
+type doorFlag []string
+
+func (d *doorFlag) String() string { return strings.Join(*d, ",") }
+
+func (d *doorFlag) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bubblezero:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var doors doorFlag
+	var (
+		duration = flag.Duration("duration", 105*time.Minute, "simulated run length")
+		report   = flag.Duration("report", 5*time.Minute, "status print period")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		fixed    = flag.Bool("fixed-tx", false, "use fixed transmission instead of BT-ADPT")
+		csvPath  = flag.String("csv", "", "write the temperature/dew traces to this CSV file")
+		sniff    = flag.String("sniff", "", "write a sniffer packet log (CSV) to this file")
+		confPath = flag.String("config", "", "JSON config file (see core.FileConfig for the schema)")
+	)
+	flag.Var(&doors, "door", "schedule a door opening as OFFSET:DURATION (repeatable)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := core.DefaultConfig()
+	if *confPath != "" {
+		loaded, err := core.LoadConfig(*confPath)
+		if err != nil {
+			return err
+		}
+		cfg = loaded
+	}
+	cfg.Seed = *seed
+	if *fixed {
+		cfg.TxMode = wsn.ModeFixed
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	start := sys.Now()
+
+	for _, spec := range doors {
+		offset, dur, err := parseDoor(spec)
+		if err != nil {
+			return err
+		}
+		sys.OpenDoorAt(start.Add(offset), dur)
+		fmt.Printf("scheduled door opening at +%v for %v\n", offset, dur)
+	}
+
+	var sniffer *wsn.Sniffer
+	if *sniff != "" {
+		f, err := os.Create(*sniff)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sniffer, err = sys.AttachSniffer(f)
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("BubbleZERO: %d nodes, outdoor %.1f°C / %.1f°C dew, targets 25°C / 18°C dew\n",
+		sys.Network().NodeCount(), sys.Room().Outdoor().T, sys.Room().Outdoor().DewPoint())
+
+	for elapsed := time.Duration(0); elapsed < *duration; elapsed += *report {
+		chunk := *report
+		if remaining := *duration - elapsed; chunk > remaining {
+			chunk = remaining
+		}
+		if err := sys.Run(ctx, chunk); err != nil {
+			return err
+		}
+		sn := sys.Snapshot()
+		fmt.Printf("%s  zones[", sn.Time.Format("15:04"))
+		for z := 0; z < thermal.NumZones; z++ {
+			if z > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%.1f/%.1f", sn.ZoneTempC[z], sn.ZoneDewC[z])
+		}
+		fmt.Printf("]°C  COP %.2f  net %.1f%%  cond %.0fs\n",
+			sn.COPTotal, sn.NetStats.DeliveryRate()*100, sn.CondensationS)
+	}
+
+	sn := sys.Snapshot()
+	fmt.Printf("\nfinal: avg %.2f°C (target 25), dew %.2f°C (target 18), COP %.2f "+
+		"(Bubble-C %.2f, Bubble-V %.2f), condensation %.0f s\n",
+		sn.AvgTempC, sn.AvgDewC, sn.COPTotal, sn.COPRadiant, sn.COPVent, sn.CondensationS)
+
+	if sniffer != nil {
+		fmt.Println()
+		fmt.Print(sniffer.Summary())
+		if err := sniffer.Err(); err != nil {
+			return fmt.Errorf("sniffer log: %w", err)
+		}
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		names := []string{
+			"temp.subsp1", "temp.subsp2", "temp.subsp3", "temp.subsp4",
+			"dew.subsp1", "dew.subsp2", "dew.subsp3", "dew.subsp4",
+		}
+		if err := sys.Recorder().WriteCSV(f, names, start, sn.Time, 30*time.Second); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("trace written to", *csvPath)
+	}
+	return nil
+}
+
+func parseDoor(spec string) (offset, dur time.Duration, err error) {
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("door spec %q: want OFFSET:DURATION", spec)
+	}
+	offset, err = time.ParseDuration(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("door spec %q: %w", spec, err)
+	}
+	dur, err = time.ParseDuration(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("door spec %q: %w", spec, err)
+	}
+	return offset, dur, nil
+}

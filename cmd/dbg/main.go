@@ -1,0 +1,35 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"bubblezero/internal/adaptive"
+	"bubblezero/internal/experiments"
+)
+
+func main() {
+	sc, err := experiments.RunNetScenario(context.Background(), 1, 5*time.Hour)
+	if err != nil {
+		panic(err)
+	}
+	ids := make([]string, 0)
+	for id := range sc.Readings {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		cfg := adaptive.DefaultConfig(sc.TsplS[id])
+		cfg.TrackExact = true
+		sched, _ := adaptive.NewScheduler(cfg)
+		for _, v := range sc.Readings[id] {
+			sched.OnSample(v)
+		}
+		acc, dec := sched.Accuracy()
+		lo, hi, _ := sched.Histogram().Range()
+		l, _ := sched.Lambda()
+		fmt.Printf("%-16s acc=%.3f dec=%d range=[%.3g,%.3g] lambda=%.3g\n", id, acc, dec, lo, hi, l)
+	}
+}

@@ -1,0 +1,151 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§V). With no flags it runs the full suite; use -fig
+// to run a single experiment and -csv to emit the underlying series.
+//
+//	experiments -fig 10 -csv fig10.csv
+//	experiments -fig all -hours 5
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"bubblezero/internal/experiments"
+	"bubblezero/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, 14, 15, exergy, ablations, all")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+		hours  = flag.Float64("hours", 5, "networking-scenario length in simulated hours (figs 12-15)")
+		csv    = flag.String("csv", "", "write the figure's underlying series as CSV to this file")
+		mdPath = flag.String("report", "", "write the full evaluation as a markdown report to this file")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	d := time.Duration(*hours * float64(time.Hour))
+	all := *fig == "all"
+
+	if *mdPath != "" {
+		f, err := os.Create(*mdPath)
+		if err != nil {
+			return err
+		}
+		if err := report.Generate(ctx, *seed, *hours, f); err != nil {
+			f.Close()
+			return fmt.Errorf("report: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("report written to", *mdPath)
+		return nil
+	}
+
+	if all || *fig == "10" {
+		r, err := experiments.Fig10(ctx, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Summary())
+		if *csv != "" && *fig == "10" {
+			if err := writeCSV(*csv, r.WriteTable); err != nil {
+				return err
+			}
+		}
+	}
+	if all || *fig == "11" {
+		r, err := experiments.Fig11(ctx, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Summary())
+		fmt.Printf("  radiant %.1f W removed / %.1f W consumed (paper 964.8/213.4); "+
+			"vent %.1f W / %.1f W (paper 213.2/75.6)\n",
+			r.RadiantRemovedW, r.RadiantConsumedW, r.VentRemovedW, r.VentConsumedW)
+	}
+	if all || *fig == "12" {
+		r, err := experiments.Fig12(ctx, *seed, d, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Summary())
+	}
+	if all || *fig == "13" {
+		r, err := experiments.Fig13(ctx, *seed, d)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Summary())
+	}
+	if all || *fig == "14" {
+		r, err := experiments.Fig14(ctx, *seed, d)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Summary())
+	}
+	if all || *fig == "15" {
+		r, err := experiments.Fig15(ctx, *seed, d)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Summary())
+	}
+	if all || *fig == "exergy" {
+		r, err := experiments.ExergyAudit(ctx, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Summary())
+	}
+	if all || *fig == "ablations" {
+		pts, err := experiments.AblationSupplyTemp(ctx, *seed, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.SummarizeSupplyTemp(pts))
+		nc, err := experiments.AblationNoCoupling(ctx, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Ablation: condensation guarded %.0f s vs unguarded %.0f s\n",
+			nc.GuardedCondensationS, nc.UnguardedCondensationS)
+		ds, err := experiments.AblationDesync(ctx, *seed, 30*time.Minute)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Ablation: desync collisions %d (delivery %.4f) vs random %d (delivery %.4f)\n",
+			ds.WithDesync.Collided, ds.WithDesync.DeliveryRate(),
+			ds.WithoutDesync.Collided, ds.WithoutDesync.DeliveryRate())
+	}
+	return nil
+}
+
+func writeCSV(path string, fn func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,18 @@
+// Package bubblezero is a full-system reproduction of "Energy Efficient
+// HVAC System with Distributed Sensing and Control" (ICDCS 2014): the
+// BubbleZERO low-exergy HVAC deployment — radiant cooling on 18 °C water,
+// distributed dehumidification/ventilation on 8 °C coils, and a duty-cycled
+// 802.15.4 sensor network with adaptive transmission scheduling — rebuilt
+// as a deterministic discrete-time simulation in pure Go.
+//
+// The library lives under internal/: core assembles the whole system;
+// radiant, vent, and adaptive implement the paper's contributions; thermal,
+// hydraulic, wsn, sensor, psychro, exergy, energy, pid, sim, and trace are
+// the substrates the real deployment had as hardware. The experiments
+// package regenerates every figure of the paper's evaluation; the
+// benchmarks in bench_test.go wrap them for `go test -bench`.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// hardware-to-simulation substitutions, and EXPERIMENTS.md for
+// paper-versus-measured results.
+package bubblezero

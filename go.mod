@@ -1,0 +1,3 @@
+module bubblezero
+
+go 1.24

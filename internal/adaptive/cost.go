@@ -1,0 +1,26 @@
+package adaptive
+
+// MSP430 cost model for Algorithm 1, used to regenerate Figure 12(b)/(c).
+// The TelosB's MSP430F1611 runs at 8 MHz with no floating-point unit;
+// every float operation is a software-emulated routine costing on the
+// order of a thousand cycles. Algorithm 1 performs ≈3·N float operations
+// per candidate split across N−1 splits, i.e. ≈3·N² operations total.
+// FloatOpCycles is calibrated so that N = 60 costs ≈1.6 s, the value the
+// paper measures (Figure 12(c)).
+const (
+	// MSP430ClockHz is the TelosB MCU clock.
+	MSP430ClockHz = 8_000_000
+	// FloatOpCycles is the average software floating-point cost per
+	// operation, calibrated against the paper's measurement.
+	FloatOpCycles = 1185
+)
+
+// CPUSecondsMSP430 returns the modelled MSP430 execution time (seconds) of
+// one Algorithm 1 threshold computation for a histogram of n slots.
+func CPUSecondsMSP430(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	ops := 3 * float64(n) * float64(n)
+	return ops * FloatOpCycles / MSP430ClockHz
+}

@@ -1,0 +1,85 @@
+package adaptive
+
+import (
+	"math"
+	"sort"
+)
+
+// exactGrid is the threshold-candidate resolution of the ground-truth
+// clusterer: equivalent to running Algorithm 1 with a 4096-slot histogram
+// but with exact (unrounded) variance values. This is the N→∞ limit the
+// paper's accuracy metric measures the histogram approximation against.
+const exactGrid = 4096
+
+// ExactClusterer stores every observed variance value and computes the
+// optimal two-cluster threshold under the same objective as Algorithm 1 —
+// cluster centers at the midpoints of the two subranges, cost equal to the
+// summed absolute deviations of the member values — but evaluated on the
+// exact values over a fine threshold grid instead of N coarse slots. It is
+// the memory-unbounded ground truth for the paper's accuracy metric
+// ("we can further use exact variance values to conduct clustering and
+// obtain the optimal adaptation decisions").
+type ExactClusterer struct {
+	values []float64
+}
+
+// Add records a variance value.
+func (e *ExactClusterer) Add(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return
+	}
+	e.values = append(e.values, v)
+}
+
+// Total returns the number of stored values.
+func (e *ExactClusterer) Total() int { return len(e.values) }
+
+// Reset discards the history.
+func (e *ExactClusterer) Reset() { e.values = e.values[:0] }
+
+// Threshold returns the split λ minimising the Algorithm-1 objective over
+// the candidate grid. ok is false with fewer than two distinct values.
+func (e *ExactClusterer) Threshold() (lambda float64, ok bool) {
+	n := len(e.values)
+	if n < 2 {
+		return 0, false
+	}
+	sorted := make([]float64, n)
+	copy(sorted, e.values)
+	sort.Float64s(sorted)
+	vmin, vmax := sorted[0], sorted[n-1]
+	if vmin == vmax {
+		return 0, false
+	}
+
+	prefix := make([]float64, n+1)
+	for i, v := range sorted {
+		prefix[i+1] = prefix[i] + v
+	}
+	// absDev returns Σ|v − c| over sorted[lo:hi].
+	absDev := func(lo, hi int, c float64) float64 {
+		if lo >= hi {
+			return 0
+		}
+		k := lo + sort.SearchFloat64s(sorted[lo:hi], c)
+		below := c*float64(k-lo) - (prefix[k] - prefix[lo])
+		above := (prefix[hi] - prefix[k]) - c*float64(hi-k)
+		return below + above
+	}
+
+	width := (vmax - vmin) / exactGrid
+	bestCost := math.Inf(1)
+	bestB := vmin + width
+	for j := 1; j < exactGrid; j++ {
+		b := vmin + float64(j)*width
+		split := sort.SearchFloat64s(sorted, b) // values <= b (b is off-grid of most values)
+		cc1 := (vmin + b) / 2
+		cc2 := (b + vmax) / 2
+		cost := absDev(0, split, cc1) + absDev(split, n, cc2)
+		if cost < bestCost {
+			bestCost = cost
+			bestB = b
+		}
+	}
+	return bestB, true
+}

@@ -1,0 +1,211 @@
+package adaptive
+
+import (
+	"fmt"
+	"math"
+)
+
+// Q16 is a Q16.16 fixed-point number — the arithmetic a real TelosB
+// deployment would use, since the MSP430 has no floating-point unit and
+// software floats are what make Algorithm 1 cost seconds (Figure 12(c)).
+// FixedHistogram mirrors Histogram on Q16 values so the repository can
+// demonstrate that the paper's constant-memory design survives integer
+// arithmetic: thresholds match the float implementation to within one slot
+// width (verified by property test).
+type Q16 int64
+
+// Q16One is the fixed-point representation of 1.0.
+const Q16One Q16 = 1 << 16
+
+// ToQ16 converts a float64 (saturating at the int64 range).
+func ToQ16(f float64) Q16 {
+	v := f * float64(Q16One)
+	if v >= math.MaxInt64 {
+		return Q16(math.MaxInt64)
+	}
+	if v <= math.MinInt64 {
+		return Q16(math.MinInt64)
+	}
+	return Q16(math.Round(v))
+}
+
+// Float converts back to float64.
+func (q Q16) Float() float64 { return float64(q) / float64(Q16One) }
+
+// MulQ16 multiplies two Q16 values.
+func MulQ16(a, b Q16) Q16 { return Q16((int64(a) * int64(b)) >> 16) }
+
+// DivQ16 divides a by b (b must be non-zero).
+func DivQ16(a, b Q16) Q16 {
+	if b == 0 {
+		return 0
+	}
+	return Q16((int64(a) << 16) / int64(b))
+}
+
+// AbsQ16 returns |q|.
+func AbsQ16(q Q16) Q16 {
+	if q < 0 {
+		return -q
+	}
+	return q
+}
+
+// FixedHistogram is the integer-arithmetic twin of Histogram: N slots over
+// [varMin, varMax] in Q16.16, uint16 counters, and Algorithm 1 evaluated
+// entirely in fixed point. Its memory footprint is identical to the
+// paper's accounting (2 bytes per slot + bookkeeping).
+type FixedHistogram struct {
+	n        int
+	varMin   Q16
+	varMax   Q16
+	counts   []uint16
+	total    int
+	hasRange bool
+}
+
+// NewFixedHistogram returns a fixed-point histogram with n >= 2 slots.
+func NewFixedHistogram(n int) (*FixedHistogram, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("adaptive: fixed histogram needs >= 2 slots, got %d", n)
+	}
+	return &FixedHistogram{n: n, counts: make([]uint16, n)}, nil
+}
+
+// N returns the slot count.
+func (h *FixedHistogram) N() int { return h.n }
+
+// Total returns the number of recorded values.
+func (h *FixedHistogram) Total() int { return h.total }
+
+// Range returns the observed bounds as floats.
+func (h *FixedHistogram) Range() (varMin, varMax float64, ok bool) {
+	return h.varMin.Float(), h.varMax.Float(), h.hasRange
+}
+
+func (h *FixedHistogram) slotWidth() Q16 {
+	return Q16(int64(h.varMax-h.varMin) / int64(h.n))
+}
+
+func (h *FixedHistogram) slotFor(v Q16) int {
+	w := h.slotWidth()
+	if w <= 0 {
+		return 0
+	}
+	i := int(int64(v-h.varMin) / int64(w))
+	if i < 0 {
+		i = 0
+	}
+	if i >= h.n {
+		i = h.n - 1
+	}
+	return i
+}
+
+// AddFloat records a variance given as float64.
+func (h *FixedHistogram) AddFloat(v float64) { h.Add(ToQ16(v)) }
+
+// Add records a variance value with the same half-slot range-expansion
+// tolerance as the float implementation.
+func (h *FixedHistogram) Add(v Q16) {
+	if v < 0 {
+		return
+	}
+	halfSlot := h.slotWidth() / 2
+	switch {
+	case h.total == 0:
+		h.varMin, h.varMax = v, v
+	case !h.hasRange:
+		if v < h.varMin {
+			h.rescale(v, h.varMax)
+		} else if v > h.varMax {
+			h.rescale(h.varMin, v)
+		}
+	case v < h.varMin-halfSlot:
+		h.rescale(v, h.varMax)
+	case v > h.varMax+halfSlot:
+		h.rescale(h.varMin, v)
+	}
+	if h.varMax > h.varMin {
+		h.hasRange = true
+	}
+	if c := h.counts[h.slotFor(v)]; c < math.MaxUint16 {
+		h.counts[h.slotFor(v)] = c + 1
+	}
+	h.total++
+}
+
+func (h *FixedHistogram) rescale(lo, hi Q16) {
+	old := h.counts
+	oldMin := h.varMin
+	oldWidth := h.slotWidth()
+	h.varMin, h.varMax = lo, hi
+	h.counts = make([]uint16, h.n)
+	if !h.hasRange || oldWidth <= 0 {
+		var mass int
+		for _, c := range old {
+			mass += int(c)
+		}
+		if mass > 0 {
+			slot := h.slotFor(oldMin)
+			if mass > math.MaxUint16 {
+				mass = math.MaxUint16
+			}
+			h.counts[slot] = uint16(mass)
+		}
+		return
+	}
+	for i, c := range old {
+		if c == 0 {
+			continue
+		}
+		center := oldMin + Q16(int64(oldWidth)*int64(i)) + oldWidth/2
+		slot := h.slotFor(center)
+		sum := int(h.counts[slot]) + int(c)
+		if sum > math.MaxUint16 {
+			sum = math.MaxUint16
+		}
+		h.counts[slot] = uint16(sum)
+	}
+}
+
+// Threshold runs Algorithm 1 in pure integer arithmetic and returns λ as a
+// float for comparison with the reference implementation.
+func (h *FixedHistogram) Threshold() (lambda float64, ok bool) {
+	if !h.hasRange || h.total < 2 {
+		return 0, false
+	}
+	width := h.slotWidth()
+	if width <= 0 {
+		return 0, false
+	}
+	center := func(k int) Q16 { // 1-based slot center
+		return h.varMin + Q16(int64(width)*int64(k-1)) + width/2
+	}
+	bestSum := Q16(math.MaxInt64)
+	bestJ := 0
+	for j := 1; j < h.n; j++ {
+		// cc1 = varMin + (j/2)·width; cc2 = varMin + ((j+n)/2)·width, in
+		// fixed point without losing the half step.
+		cc1 := h.varMin + Q16(int64(width)*int64(j)/2)
+		cc2 := h.varMin + Q16(int64(width)*int64(j+h.n)/2)
+		var sum Q16
+		for k := 1; k <= j; k++ {
+			sum += Q16(int64(h.counts[k-1]) * int64(AbsQ16(center(k)-cc1)))
+		}
+		for k := j + 1; k <= h.n; k++ {
+			sum += Q16(int64(h.counts[k-1]) * int64(AbsQ16(center(k)-cc2)))
+		}
+		if sum < bestSum {
+			bestSum = sum
+			bestJ = j
+		}
+	}
+	if bestJ == 0 {
+		return 0, false
+	}
+	return (h.varMin + Q16(int64(width)*int64(bestJ))).Float(), true
+}
+
+// RAMBytes matches the paper's footprint accounting.
+func (h *FixedHistogram) RAMBytes() int { return 2*h.n + 10 }

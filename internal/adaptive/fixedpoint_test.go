@@ -1,0 +1,148 @@
+package adaptive
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestQ16RoundTrip(t *testing.T) {
+	for _, f := range []float64{0, 1, -1, 0.5, 3.14159, 1000.25, -42.0625} {
+		q := ToQ16(f)
+		if math.Abs(q.Float()-f) > 1.0/65536 {
+			t.Errorf("Q16 round trip of %v = %v", f, q.Float())
+		}
+	}
+}
+
+func TestQ16Saturation(t *testing.T) {
+	if q := ToQ16(math.Inf(1)); q != Q16(math.MaxInt64) {
+		t.Errorf("+Inf = %v, want saturate", q)
+	}
+	if q := ToQ16(math.Inf(-1)); q != Q16(math.MinInt64) {
+		t.Errorf("-Inf = %v, want saturate", q)
+	}
+}
+
+func TestQ16Arithmetic(t *testing.T) {
+	a, b := ToQ16(2.5), ToQ16(4)
+	if got := MulQ16(a, b).Float(); math.Abs(got-10) > 1e-4 {
+		t.Errorf("2.5 × 4 = %v", got)
+	}
+	if got := DivQ16(b, a).Float(); math.Abs(got-1.6) > 1e-4 {
+		t.Errorf("4 / 2.5 = %v", got)
+	}
+	if got := DivQ16(a, 0); got != 0 {
+		t.Errorf("div by zero = %v, want 0", got)
+	}
+	if AbsQ16(ToQ16(-3)).Float() != 3 {
+		t.Error("AbsQ16 broken")
+	}
+}
+
+func TestFixedHistogramValidation(t *testing.T) {
+	if _, err := NewFixedHistogram(1); err == nil {
+		t.Error("single-slot accepted")
+	}
+	h, err := NewFixedHistogram(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 40 || h.RAMBytes() != 90 {
+		t.Errorf("N=%d RAM=%d", h.N(), h.RAMBytes())
+	}
+	h.Add(-1)
+	if h.Total() != 0 {
+		t.Error("negative value recorded")
+	}
+}
+
+func TestFixedHistogramPaperExample(t *testing.T) {
+	// The Figure 9 worked example must yield λ = 6 in fixed point too.
+	h, err := NewFixedHistogram(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddFloat(0)
+	h.AddFloat(10)
+	counts := []int{4, 10, 3, 7, 4}
+	for slot, c := range counts {
+		for i := 0; i < c; i++ {
+			h.AddFloat(1.0 + 2.0*float64(slot))
+		}
+	}
+	lambda, ok := h.Threshold()
+	if !ok || math.Abs(lambda-6) > 0.01 {
+		t.Errorf("fixed-point λ = %v (ok=%v), want 6", lambda, ok)
+	}
+}
+
+func TestFixedHistogramNeedsRange(t *testing.T) {
+	h, _ := NewFixedHistogram(8)
+	if _, ok := h.Threshold(); ok {
+		t.Error("empty histogram produced threshold")
+	}
+	h.AddFloat(5)
+	h.AddFloat(5)
+	if _, ok := h.Threshold(); ok {
+		t.Error("degenerate histogram produced threshold")
+	}
+}
+
+// Property: the fixed-point threshold matches the float implementation to
+// within one slot width across random variance streams — integer MCU
+// arithmetic does not change Algorithm 1's behaviour.
+func TestFixedMatchesFloatProperty(t *testing.T) {
+	f := func(seed uint16, nRaw uint8) bool {
+		n := int(nRaw%30) + 10
+		rng := rand.New(rand.NewPCG(uint64(seed), 99))
+		fl, err1 := NewHistogram(n)
+		fx, err2 := NewFixedHistogram(n)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Bimodal stream like a real variance log.
+		for i := 0; i < 400; i++ {
+			var v float64
+			if rng.Float64() < 0.9 {
+				v = rng.Float64() * 0.05
+			} else {
+				v = 1 + rng.Float64()*4
+			}
+			fl.Add(v)
+			fx.AddFloat(v)
+		}
+		lf, okf := fl.Threshold()
+		lx, okx := fx.Threshold()
+		if okf != okx {
+			return false
+		}
+		if !okf {
+			return true
+		}
+		lo, hi, _ := fl.Range()
+		slot := (hi - lo) / float64(n)
+		return math.Abs(lf-lx) <= slot+1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: counters never overflow silently (saturate at uint16 max).
+func TestFixedHistogramCounterSaturation(t *testing.T) {
+	h, _ := NewFixedHistogram(2)
+	h.AddFloat(0)
+	h.AddFloat(10)
+	for i := 0; i < 70000; i++ {
+		h.AddFloat(1)
+	}
+	if h.Total() != 70002 {
+		t.Errorf("total = %d", h.Total())
+	}
+	// No panic and a usable threshold is the contract.
+	if _, ok := h.Threshold(); !ok {
+		t.Error("saturated histogram lost its threshold")
+	}
+}

@@ -1,0 +1,163 @@
+// Package comfort implements the Fanger thermal-comfort model (PMV/PPD,
+// ISO 7730): the quantity an HVAC system ultimately exists to deliver.
+// The paper's evaluation reports physical setpoints (25 °C, 18 °C dew
+// point); this package closes the loop by scoring those conditions the way
+// building science does — the Predicted Mean Vote on the seven-point
+// sensation scale and the Predicted Percentage Dissatisfied.
+//
+// BubbleZERO's radiant design is also specifically flattered by this
+// model: ceiling panels lower the mean radiant temperature below the air
+// temperature, so the same sensation is reached at a higher air
+// temperature than an all-air system needs.
+package comfort
+
+import (
+	"fmt"
+	"math"
+
+	"bubblezero/internal/psychro"
+)
+
+// Conditions are the six PMV inputs.
+type Conditions struct {
+	// AirTempC is the dry-bulb air temperature.
+	AirTempC float64
+	// RadiantTempC is the mean radiant temperature (panel surfaces pull
+	// this below the air temperature in BubbleZERO).
+	RadiantTempC float64
+	// RH is the relative humidity in percent.
+	RH float64
+	// AirSpeedMS is the local air speed (m/s).
+	AirSpeedMS float64
+	// MetabolicMet is the activity level in met (1.0 seated quiet, 1.2
+	// office work).
+	MetabolicMet float64
+	// ClothingClo is the clothing insulation in clo (0.5 tropical summer
+	// office wear).
+	ClothingClo float64
+}
+
+// DefaultOffice returns the paper's implied occupancy: seated office work
+// in tropical summer clothing with gentle ventilation air movement.
+func DefaultOffice(airTempC, radiantTempC, rh float64) Conditions {
+	return Conditions{
+		AirTempC:     airTempC,
+		RadiantTempC: radiantTempC,
+		RH:           rh,
+		AirSpeedMS:   0.12,
+		MetabolicMet: 1.1,
+		ClothingClo:  0.5,
+	}
+}
+
+// Validate checks the inputs are within the model's sane envelope.
+func (c Conditions) Validate() error {
+	switch {
+	case c.AirTempC < 0 || c.AirTempC > 50:
+		return fmt.Errorf("comfort: air temperature %v outside [0, 50]", c.AirTempC)
+	case c.RH < 0 || c.RH > 100:
+		return fmt.Errorf("comfort: RH %v outside [0, 100]", c.RH)
+	case c.AirSpeedMS < 0:
+		return fmt.Errorf("comfort: air speed %v negative", c.AirSpeedMS)
+	case c.MetabolicMet <= 0:
+		return fmt.Errorf("comfort: metabolic rate %v must be positive", c.MetabolicMet)
+	case c.ClothingClo < 0:
+		return fmt.Errorf("comfort: clothing %v negative", c.ClothingClo)
+	}
+	return nil
+}
+
+// PMV returns the Predicted Mean Vote on the ASHRAE seven-point scale
+// (−3 cold … 0 neutral … +3 hot) using Fanger's heat-balance equations.
+func PMV(c Conditions) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+
+	pa := psychro.VapourPressure(c.AirTempC, c.RH) // Pa
+	icl := 0.155 * c.ClothingClo                   // m²K/W
+	m := c.MetabolicMet * 58.15                    // W/m²
+	w := 0.0                                       // external work
+	mw := m - w
+
+	var fcl float64
+	if icl <= 0.078 {
+		fcl = 1 + 1.29*icl
+	} else {
+		fcl = 1.05 + 0.645*icl
+	}
+
+	// Iterate the clothing surface temperature.
+	ta := c.AirTempC
+	tr := c.RadiantTempC
+	hcf := 12.1 * math.Sqrt(c.AirSpeedMS)
+	taa := ta + 273
+	tra := tr + 273
+	tcla := taa + (35.5-ta)/(3.5*icl+0.1)
+
+	p1 := icl * fcl
+	p2 := p1 * 3.96
+	p3 := p1 * 100
+	p4 := p1 * taa
+	p5 := 308.7 - 0.028*mw + p2*math.Pow(tra/100, 4)
+	xn := tcla / 100
+	xf := tcla / 50
+	const eps = 0.00015
+	hc := hcf
+	for i := 0; i < 150 && math.Abs(xn-xf) > eps; i++ {
+		xf = (xf + xn) / 2
+		hcn := 2.38 * math.Pow(math.Abs(100*xf-taa), 0.25)
+		if hcf > hcn {
+			hc = hcf
+		} else {
+			hc = hcn
+		}
+		xn = (p5 + p4*hc - p2*math.Pow(xf, 4)) / (100 + p3*hc)
+	}
+	tcl := 100*xn - 273
+
+	// Heat-loss components.
+	hl1 := 3.05 * 0.001 * (5733 - 6.99*mw - pa) // skin diffusion
+	var hl2 float64
+	if mw > 58.15 {
+		hl2 = 0.42 * (mw - 58.15) // sweating
+	}
+	hl3 := 1.7 * 0.00001 * m * (5867 - pa)                       // latent respiration
+	hl4 := 0.0014 * m * (34 - ta)                                // dry respiration
+	hl5 := 3.96 * fcl * (math.Pow(xn, 4) - math.Pow(tra/100, 4)) // radiation
+	hl6 := fcl * hc * (tcl - ta)                                 // convection
+
+	ts := 0.303*math.Exp(-0.036*m) + 0.028
+	pmv := ts * (mw - hl1 - hl2 - hl3 - hl4 - hl5 - hl6)
+	return pmv, nil
+}
+
+// PPD returns the Predicted Percentage Dissatisfied for a PMV value
+// (minimum 5 % at PMV = 0).
+func PPD(pmv float64) float64 {
+	return 100 - 95*math.Exp(-0.03353*math.Pow(pmv, 4)-0.2179*math.Pow(pmv, 2))
+}
+
+// Assess returns both indices.
+func Assess(c Conditions) (pmv, ppd float64, err error) {
+	pmv, err = PMV(c)
+	if err != nil {
+		return 0, 0, err
+	}
+	return pmv, PPD(pmv), nil
+}
+
+// Category classifies a PMV into the ISO 7730 comfort categories.
+func Category(pmv float64) string {
+	a := math.Abs(pmv)
+	switch {
+	case a <= 0.2:
+		return "A"
+	case a <= 0.5:
+		return "B"
+	case a <= 0.7:
+		return "C"
+	default:
+		return "outside"
+	}
+}

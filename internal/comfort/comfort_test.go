@@ -1,0 +1,174 @@
+package comfort
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultOffice(25, 24, 60).Validate(); err != nil {
+		t.Fatalf("default office invalid: %v", err)
+	}
+	bad := []Conditions{
+		{AirTempC: -10, RadiantTempC: 20, RH: 50, MetabolicMet: 1, ClothingClo: 0.5},
+		{AirTempC: 25, RadiantTempC: 20, RH: 150, MetabolicMet: 1, ClothingClo: 0.5},
+		{AirTempC: 25, RadiantTempC: 20, RH: 50, AirSpeedMS: -1, MetabolicMet: 1, ClothingClo: 0.5},
+		{AirTempC: 25, RadiantTempC: 20, RH: 50, MetabolicMet: 0, ClothingClo: 0.5},
+		{AirTempC: 25, RadiantTempC: 20, RH: 50, MetabolicMet: 1, ClothingClo: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("conditions %d should be invalid", i)
+		}
+	}
+	if _, err := PMV(bad[0]); err == nil {
+		t.Error("PMV accepted invalid conditions")
+	}
+}
+
+func TestISO7730ReferencePoint(t *testing.T) {
+	// ISO 7730 table D.1-style check: ta = tr = 22 °C, RH 60 %, 0.10 m/s,
+	// 1.2 met, 0.5 clo → PMV ≈ −0.75 (±0.1).
+	pmv, err := PMV(Conditions{
+		AirTempC: 22, RadiantTempC: 22, RH: 60,
+		AirSpeedMS: 0.10, MetabolicMet: 1.2, ClothingClo: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pmv-(-0.75)) > 0.12 {
+		t.Errorf("PMV = %.3f, want ≈ -0.75 (ISO 7730 reference)", pmv)
+	}
+}
+
+func TestISO7730NeutralPoint(t *testing.T) {
+	// ta = tr = 26 °C, RH 60 %, 0.10 m/s, 1.2 met, 0.5 clo → PMV ≈ +0.39.
+	pmv, err := PMV(Conditions{
+		AirTempC: 26, RadiantTempC: 26, RH: 60,
+		AirSpeedMS: 0.10, MetabolicMet: 1.2, ClothingClo: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pmv-0.39) > 0.12 {
+		t.Errorf("PMV = %.3f, want ≈ +0.39 (ISO 7730 reference)", pmv)
+	}
+}
+
+func TestBubbleZEROTargetIsComfortable(t *testing.T) {
+	// The paper's target: 25 °C air, 18 °C dew (≈65 % RH), radiant panels
+	// pulling the mean radiant temperature a little below air.
+	pmv, ppd, err := Assess(DefaultOffice(25, 23.5, 65))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pmv) > 0.5 {
+		t.Errorf("PMV at the paper's target = %.2f, want within ±0.5 (category B)", pmv)
+	}
+	if ppd > 12 {
+		t.Errorf("PPD = %.1f%%, want near the 10%% band", ppd)
+	}
+}
+
+func TestRadiantCoolingImprovesComfortAtSameAirTemp(t *testing.T) {
+	warm, err := PMV(DefaultOffice(26, 26, 65)) // all-air: tr = ta
+	if err != nil {
+		t.Fatal(err)
+	}
+	radiant, err := PMV(DefaultOffice(26, 23, 65)) // cooled ceiling
+	if err != nil {
+		t.Fatal(err)
+	}
+	if radiant >= warm {
+		t.Errorf("radiant PMV %.2f not cooler than all-air %.2f", radiant, warm)
+	}
+}
+
+func TestPMVMonotoneInTemperature(t *testing.T) {
+	prev := -10.0
+	for ta := 18.0; ta <= 32; ta += 2 {
+		pmv, err := PMV(DefaultOffice(ta, ta, 60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pmv <= prev {
+			t.Fatalf("PMV not increasing at %v°C: %v <= %v", ta, pmv, prev)
+		}
+		prev = pmv
+	}
+}
+
+func TestPMVIncreasesWithHumidity(t *testing.T) {
+	dry, err := PMV(DefaultOffice(28, 28, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	humid, err := PMV(DefaultOffice(28, 28, 90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if humid <= dry {
+		t.Errorf("humid PMV %.2f not warmer than dry %.2f", humid, dry)
+	}
+}
+
+func TestPPDShape(t *testing.T) {
+	if got := PPD(0); math.Abs(got-5) > 0.01 {
+		t.Errorf("PPD(0) = %v, want 5 (the model's floor)", got)
+	}
+	// Symmetric and increasing away from neutral.
+	if math.Abs(PPD(1)-PPD(-1)) > 1e-9 {
+		t.Error("PPD not symmetric")
+	}
+	if PPD(2) <= PPD(1) || PPD(3) <= PPD(2) {
+		t.Error("PPD not increasing with |PMV|")
+	}
+	// PMV ±1 ≈ 26 % dissatisfied (ISO 7730).
+	if got := PPD(1); math.Abs(got-26.1) > 1 {
+		t.Errorf("PPD(1) = %.1f, want ≈26", got)
+	}
+}
+
+func TestCategory(t *testing.T) {
+	cases := map[float64]string{0: "A", 0.19: "A", -0.35: "B", 0.65: "C", 1.2: "outside"}
+	for pmv, want := range cases {
+		if got := Category(pmv); got != want {
+			t.Errorf("Category(%v) = %s, want %s", pmv, got, want)
+		}
+	}
+}
+
+// Property: PPD is always within [5, 100).
+func TestPPDBoundsProperty(t *testing.T) {
+	f := func(raw int16) bool {
+		pmv := float64(raw) / 1000 // ±32
+		ppd := PPD(pmv)
+		return ppd >= 5-1e-9 && ppd < 100+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PMV is finite across the validated envelope.
+func TestPMVFiniteProperty(t *testing.T) {
+	f := func(taRaw, rhRaw, vRaw uint8) bool {
+		c := Conditions{
+			AirTempC:     5 + float64(taRaw%40),
+			RadiantTempC: 5 + float64(rhRaw%40),
+			RH:           float64(rhRaw) / 2.56,
+			AirSpeedMS:   float64(vRaw) / 255,
+			MetabolicMet: 1.1,
+			ClothingClo:  0.5,
+		}
+		pmv, err := PMV(c)
+		if err != nil {
+			return true // rejected by validation is fine
+		}
+		return !math.IsNaN(pmv) && !math.IsInf(pmv, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,30 @@
+package comfort_test
+
+import (
+	"fmt"
+
+	"bubblezero/internal/comfort"
+)
+
+// Assess scores room conditions on the ASHRAE seven-point sensation scale;
+// the paper's 25 °C / 18 °C-dew target with cooled ceiling panels lands in
+// the ISO 7730 comfort band.
+func ExampleAssess() {
+	pmv, ppd, err := comfort.Assess(comfort.DefaultOffice(25, 23.5, 65))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("PMV %+.2f, PPD %.0f%%, category %s\n", pmv, ppd, comfort.Category(pmv))
+
+	// The tropical start, for contrast.
+	pmv, ppd, err = comfort.Assess(comfort.DefaultOffice(28.9, 28.9, 92))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("PMV %+.2f, PPD %.0f%%, category %s\n", pmv, ppd, comfort.Category(pmv))
+	// Output:
+	// PMV -0.32, PPD 7%, category B
+	// PMV +1.54, PPD 53%, category outside
+}

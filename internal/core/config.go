@@ -1,0 +1,133 @@
+// Package core assembles the full BubbleZERO system: the four-subspace
+// laboratory thermal model, the 18 °C radiant cooling loop and the 8 °C
+// distributed ventilation loop with their control modules, the 802.15.4
+// wireless sensor network carrying every observation between boards
+// (Figure 8's supply/consumption topology), per-load energy metering, and
+// the trace recorder the experiments replay.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"bubblezero/internal/exergy"
+	"bubblezero/internal/radiant"
+	"bubblezero/internal/thermal"
+	"bubblezero/internal/vent"
+	"bubblezero/internal/wsn"
+)
+
+// Config parameterises a System.
+type Config struct {
+	// Start is the simulated wall-clock start (the paper's trial runs
+	// start at 13:00).
+	Start time.Time
+	// Step is the simulation tick.
+	Step time.Duration
+	// Seed drives every stochastic element (sensor noise, radio
+	// contention) deterministically.
+	Seed uint64
+
+	// Thermal is the laboratory model configuration.
+	Thermal thermal.Config
+	// Radiant is the radiant cooling module configuration.
+	Radiant radiant.Config
+	// Vent is the distributed ventilation module configuration.
+	Vent vent.Config
+	// Net is the radio medium configuration.
+	Net wsn.Config
+	// TxMode selects adaptive (BT-ADPT) or fixed transmission for
+	// battery devices.
+	TxMode wsn.TxMode
+	// TrackExact additionally runs the exact clusterer inside every
+	// adaptive scheduler for accuracy evaluation (Figures 12–13).
+	TrackExact bool
+
+	// Chiller is the refrigeration model shared by both tanks.
+	Chiller exergy.Chiller
+	// RadiantTankL / RadiantSetpointC / RadiantCapacityW describe the
+	// 18 °C tank.
+	RadiantTankL     float64
+	RadiantSetpointC float64
+	RadiantCapacityW float64
+	// VentTankL / VentSetpointC / VentCapacityW describe the 8 °C tank.
+	VentTankL     float64
+	VentSetpointC float64
+	VentCapacityW float64
+
+	// PanelUAWater / PanelHAAir parameterise each ceiling panel.
+	PanelUAWater float64
+	PanelHAAir   float64
+	// PumpMaxFlowLpm / PumpMaxPowerW parameterise the radiant loop pumps.
+	PumpMaxFlowLpm float64
+	PumpMaxPowerW  float64
+
+	// SensorNoise enables datasheet-grade noise on every sensor reading.
+	SensorNoise bool
+	// TracePeriod is the recorder sampling period (0 disables tracing).
+	TracePeriod time.Duration
+}
+
+// DefaultConfig returns the full paper-calibrated system: 18 °C radiant
+// water, 8 °C ventilation water, 25 °C / 18 °C-dew targets, adaptive
+// transmission.
+func DefaultConfig() Config {
+	return Config{
+		Start:            time.Date(2014, 3, 10, 13, 0, 0, 0, time.UTC),
+		Step:             time.Second,
+		Seed:             1,
+		Thermal:          thermal.DefaultConfig(),
+		Radiant:          radiant.DefaultConfig(),
+		Vent:             vent.DefaultConfig(),
+		Net:              wsn.DefaultConfig(),
+		TxMode:           wsn.ModeAdaptive,
+		Chiller:          exergy.DefaultChiller(),
+		RadiantTankL:     200,
+		RadiantSetpointC: 18,
+		RadiantCapacityW: 3000,
+		VentTankL:        150,
+		VentSetpointC:    8,
+		VentCapacityW:    4200,
+		PanelUAWater:     85,
+		PanelHAAir:       170,
+		PumpMaxFlowLpm:   6,
+		PumpMaxPowerW:    12,
+		SensorNoise:      true,
+		TracePeriod:      15 * time.Second,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Step <= 0 {
+		return fmt.Errorf("core: Step must be positive, got %v", c.Step)
+	}
+	if c.RadiantTankL <= 0 || c.VentTankL <= 0 {
+		return fmt.Errorf("core: tank volumes must be > 0")
+	}
+	if c.RadiantCapacityW <= 0 || c.VentCapacityW <= 0 {
+		return fmt.Errorf("core: chiller capacities must be > 0")
+	}
+	if c.PanelUAWater <= 0 || c.PanelHAAir <= 0 {
+		return fmt.Errorf("core: panel conductances must be > 0")
+	}
+	if c.PumpMaxFlowLpm <= 0 {
+		return fmt.Errorf("core: PumpMaxFlowLpm must be > 0")
+	}
+	if c.TxMode != wsn.ModeAdaptive && c.TxMode != wsn.ModeFixed {
+		return fmt.Errorf("core: invalid TxMode %d", c.TxMode)
+	}
+	if err := c.Thermal.Validate(); err != nil {
+		return err
+	}
+	if err := c.Radiant.Validate(); err != nil {
+		return err
+	}
+	if err := c.Vent.Validate(); err != nil {
+		return err
+	}
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	return c.Chiller.Validate()
+}

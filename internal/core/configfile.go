@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"bubblezero/internal/psychro"
+	"bubblezero/internal/wsn"
+)
+
+// FileConfig is the JSON schema accepted by LoadConfig — the operator-
+// facing subset of Config. Absent (null) fields keep their defaults, so a
+// config file only states what it changes.
+type FileConfig struct {
+	// Seed selects the deterministic trial.
+	Seed *uint64 `json:"seed"`
+	// TxMode is "adaptive" (BT-ADPT) or "fixed".
+	TxMode *string `json:"txMode"`
+	// StepSeconds is the simulation tick length.
+	StepSeconds *float64 `json:"stepSeconds"`
+
+	// RadiantSetpointC / VentSetpointC are the tank water temperatures.
+	RadiantSetpointC *float64 `json:"radiantSetpointC"`
+	VentSetpointC    *float64 `json:"ventSetpointC"`
+
+	// TPrefC / RHPrefPct are the occupant comfort preference.
+	TPrefC    *float64 `json:"tPrefC"`
+	RHPrefPct *float64 `json:"rhPrefPct"`
+	// CO2TargetPPM is the air-quality target.
+	CO2TargetPPM *float64 `json:"co2TargetPPM"`
+
+	// OutdoorC / OutdoorDewC are the boundary condition.
+	OutdoorC    *float64 `json:"outdoorC"`
+	OutdoorDewC *float64 `json:"outdoorDewC"`
+
+	// SensorNoise toggles datasheet sensor imperfection.
+	SensorNoise *bool `json:"sensorNoise"`
+	// Desync toggles the AC-device schedule desynchronisation.
+	Desync *bool `json:"desync"`
+	// LossFloor is the radio's independent per-packet loss probability.
+	LossFloor *float64 `json:"lossFloor"`
+}
+
+// Apply overlays the file's stated fields onto cfg.
+func (f FileConfig) Apply(cfg *Config) error {
+	if f.Seed != nil {
+		cfg.Seed = *f.Seed
+	}
+	if f.TxMode != nil {
+		switch *f.TxMode {
+		case "adaptive":
+			cfg.TxMode = wsn.ModeAdaptive
+		case "fixed":
+			cfg.TxMode = wsn.ModeFixed
+		default:
+			return fmt.Errorf("core: txMode %q must be \"adaptive\" or \"fixed\"", *f.TxMode)
+		}
+	}
+	if f.StepSeconds != nil {
+		if *f.StepSeconds <= 0 {
+			return fmt.Errorf("core: stepSeconds must be positive, got %v", *f.StepSeconds)
+		}
+		cfg.Step = time.Duration(*f.StepSeconds * float64(time.Second))
+	}
+	if f.RadiantSetpointC != nil {
+		cfg.RadiantSetpointC = *f.RadiantSetpointC
+	}
+	if f.VentSetpointC != nil {
+		cfg.VentSetpointC = *f.VentSetpointC
+	}
+	if f.TPrefC != nil {
+		cfg.Radiant.TPref = *f.TPrefC
+		cfg.Vent.TPref = *f.TPrefC
+	}
+	if f.RHPrefPct != nil {
+		cfg.Vent.RHPref = *f.RHPrefPct
+	}
+	if f.CO2TargetPPM != nil {
+		cfg.Vent.CO2TargetPPM = *f.CO2TargetPPM
+	}
+	if f.OutdoorC != nil || f.OutdoorDewC != nil {
+		t := cfg.Thermal.Outdoor.T
+		dew := cfg.Thermal.Outdoor.DewPoint()
+		if f.OutdoorC != nil {
+			t = *f.OutdoorC
+		}
+		if f.OutdoorDewC != nil {
+			dew = *f.OutdoorDewC
+		}
+		if dew > t {
+			return fmt.Errorf("core: outdoor dew point %v above dry bulb %v", dew, t)
+		}
+		cfg.Thermal.Outdoor = psychro.NewStateDewPoint(t, dew, 0)
+	}
+	if f.SensorNoise != nil {
+		cfg.SensorNoise = *f.SensorNoise
+	}
+	if f.Desync != nil {
+		cfg.Net.Desync = *f.Desync
+	}
+	if f.LossFloor != nil {
+		cfg.Net.LossFloor = *f.LossFloor
+	}
+	return nil
+}
+
+// LoadConfig reads a FileConfig JSON file and overlays it on the defaults.
+// Unknown fields are rejected so typos fail loudly.
+func LoadConfig(path string) (Config, error) {
+	cfg := DefaultConfig()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("core: read config: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var fc FileConfig
+	if err := dec.Decode(&fc); err != nil {
+		return Config{}, fmt.Errorf("core: parse config %s: %w", path, err)
+	}
+	if err := fc.Apply(&cfg); err != nil {
+		return Config{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, fmt.Errorf("core: config %s: %w", path, err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bubblezero/internal/wsn"
+)
+
+func writeConfig(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "config.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadConfigDefaultsWhenEmpty(t *testing.T) {
+	cfg, err := LoadConfig(writeConfig(t, `{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultConfig()
+	if cfg.Seed != def.Seed || cfg.RadiantSetpointC != def.RadiantSetpointC {
+		t.Errorf("empty config changed defaults: %+v", cfg)
+	}
+}
+
+func TestLoadConfigOverlays(t *testing.T) {
+	cfg, err := LoadConfig(writeConfig(t, `{
+		"seed": 7,
+		"txMode": "fixed",
+		"stepSeconds": 2,
+		"radiantSetpointC": 16,
+		"ventSetpointC": 9,
+		"tPrefC": 24,
+		"rhPrefPct": 60,
+		"co2TargetPPM": 900,
+		"outdoorC": 31,
+		"outdoorDewC": 26,
+		"sensorNoise": false,
+		"desync": false,
+		"lossFloor": 0.02
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.TxMode != wsn.ModeFixed || cfg.Step != 2*time.Second {
+		t.Errorf("basic fields not applied: %+v", cfg)
+	}
+	if cfg.RadiantSetpointC != 16 || cfg.VentSetpointC != 9 {
+		t.Error("setpoints not applied")
+	}
+	if cfg.Radiant.TPref != 24 || cfg.Vent.TPref != 24 {
+		t.Error("tPref must propagate to both modules")
+	}
+	if cfg.Vent.RHPref != 60 || cfg.Vent.CO2TargetPPM != 900 {
+		t.Error("vent preferences not applied")
+	}
+	if cfg.Thermal.Outdoor.T != 31 {
+		t.Errorf("outdoor T = %v", cfg.Thermal.Outdoor.T)
+	}
+	if dew := cfg.Thermal.Outdoor.DewPoint(); dew < 25.9 || dew > 26.1 {
+		t.Errorf("outdoor dew = %v, want 26", dew)
+	}
+	if cfg.SensorNoise || cfg.Net.Desync {
+		t.Error("booleans not applied")
+	}
+	if cfg.Net.LossFloor != 0.02 {
+		t.Errorf("lossFloor = %v", cfg.Net.LossFloor)
+	}
+	// The overlaid config still builds a runnable system.
+	if _, err := NewSystem(cfg); err != nil {
+		t.Errorf("overlaid config rejected by NewSystem: %v", err)
+	}
+}
+
+func TestLoadConfigRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":  `{"tyopMode": "fixed"}`,
+		"bad txMode":     `{"txMode": "sometimes"}`,
+		"bad step":       `{"stepSeconds": 0}`,
+		"dew above bulb": `{"outdoorC": 25, "outdoorDewC": 29}`,
+		"invalid after":  `{"lossFloor": 2}`,
+		"not json":       `setpoint = 18`,
+	}
+	for name, body := range cases {
+		if _, err := LoadConfig(writeConfig(t, body)); err == nil {
+			t.Errorf("%s: accepted %q", name, body)
+		}
+	}
+	if _, err := LoadConfig(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadConfigPartialOutdoor(t *testing.T) {
+	// Only the dry bulb stated: the dew point keeps its default 27.4 °C.
+	cfg, err := LoadConfig(writeConfig(t, `{"outdoorC": 30}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Thermal.Outdoor.T != 30 {
+		t.Errorf("outdoor T = %v", cfg.Thermal.Outdoor.T)
+	}
+	if dew := cfg.Thermal.Outdoor.DewPoint(); dew < 27.3 || dew > 27.5 {
+		t.Errorf("outdoor dew = %v, want default 27.4", dew)
+	}
+}

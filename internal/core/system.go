@@ -1,0 +1,388 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"bubblezero/internal/comfort"
+	"bubblezero/internal/energy"
+	"bubblezero/internal/hydraulic"
+	"bubblezero/internal/psychro"
+	"bubblezero/internal/radiant"
+	"bubblezero/internal/sim"
+	"bubblezero/internal/thermal"
+	"bubblezero/internal/trace"
+	"bubblezero/internal/vent"
+	"bubblezero/internal/wsn"
+)
+
+// System is the assembled BubbleZERO deployment.
+type System struct {
+	cfg Config
+
+	engine *sim.Engine
+	room   *thermal.Room
+	net    *wsn.Network
+
+	radiantTank *hydraulic.Tank
+	ventTank    *hydraulic.Tank
+	radiantMod  *radiant.Module
+	ventMod     *vent.Module
+
+	devices      []*wsn.SensorDevice
+	broadcasters []*wsn.PeriodicBroadcaster
+	rec          *trace.Recorder
+
+	copRadiant energy.COP
+	copVent    energy.COP
+
+	condensationS float64 // cumulative seconds any panel surface was wet
+	sinceTrace    float64
+}
+
+// NewSystem assembles and wires the full deployment.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	clock, err := sim.NewClock(cfg.Start, cfg.Step)
+	if err != nil {
+		return nil, err
+	}
+	engine := sim.NewEngine(clock, cfg.Seed)
+
+	room, err := thermal.NewRoomAtOutdoor(cfg.Thermal)
+	if err != nil {
+		return nil, err
+	}
+
+	radiantTank, err := hydraulic.NewTank(cfg.RadiantTankL, cfg.RadiantSetpointC, cfg.Chiller, cfg.RadiantCapacityW)
+	if err != nil {
+		return nil, err
+	}
+	ventTank, err := hydraulic.NewTank(cfg.VentTankL, cfg.VentSetpointC, cfg.Chiller, cfg.VentCapacityW)
+	if err != nil {
+		return nil, err
+	}
+	// The laboratory's tanks are well insulated; standing losses are a
+	// fraction of a watt per kelvin.
+	radiantTank.LossUA = 0.5
+	ventTank.LossUA = 0.5
+
+	var loops [radiant.NumPanels]*hydraulic.MixingLoop
+	panel := hydraulic.Panel{UAWater: cfg.PanelUAWater, HAAir: cfg.PanelHAAir}
+	for p := range loops {
+		supply := &hydraulic.Pump{MaxFlowLpm: cfg.PumpMaxFlowLpm, MaxPowerW: cfg.PumpMaxPowerW, StandbyW: 0.5}
+		recycle := &hydraulic.Pump{MaxFlowLpm: cfg.PumpMaxFlowLpm, MaxPowerW: cfg.PumpMaxPowerW, StandbyW: 0.5}
+		loop, err := hydraulic.NewMixingLoop(radiantTank, supply, recycle, panel)
+		if err != nil {
+			return nil, err
+		}
+		loops[p] = loop
+	}
+
+	panelAir := func(p int) float64 {
+		zs := radiant.PanelZones(p)
+		return (room.Zone(thermal.ZoneID(zs[0])).T + room.Zone(thermal.ZoneID(zs[1])).T) / 2
+	}
+	radiantMod, err := radiant.New(cfg.Radiant, radiantTank, loops, panelAir)
+	if err != nil {
+		return nil, err
+	}
+
+	ventMod, err := vent.New(cfg.Vent, ventTank, room.Outdoor, cfg.Thermal.OutdoorCO2PPM)
+	if err != nil {
+		return nil, err
+	}
+
+	net, err := wsn.NewNetwork(cfg.Net, engine.RNG().Stream("wsn"))
+	if err != nil {
+		return nil, err
+	}
+
+	s := &System{
+		cfg:         cfg,
+		engine:      engine,
+		room:        room,
+		net:         net,
+		radiantTank: radiantTank,
+		ventTank:    ventTank,
+		radiantMod:  radiantMod,
+		ventMod:     ventMod,
+		rec:         trace.NewRecorder(),
+	}
+
+	if err := s.buildTopology(); err != nil {
+		return nil, err
+	}
+
+	// Component order is the data-flow order: sensor devices sample and
+	// enqueue, the network delivers to the control boards, the modules
+	// actuate their hydraulics, and the glue pushes the plant forward.
+	for _, d := range s.devices {
+		engine.Add(d)
+	}
+	for _, b := range s.broadcasters {
+		engine.Add(b)
+	}
+	engine.Add(net, radiantMod, ventMod)
+	engine.Add(sim.ComponentFunc{ID: "core.glue", Fn: s.glue})
+	engine.Add(room)
+	return s, nil
+}
+
+// Engine returns the simulation engine (for scheduling scenario events).
+func (s *System) Engine() *sim.Engine { return s.engine }
+
+// Room returns the thermal model.
+func (s *System) Room() *thermal.Room { return s.room }
+
+// Network returns the wireless network.
+func (s *System) Network() *wsn.Network { return s.net }
+
+// Radiant returns the radiant cooling module.
+func (s *System) Radiant() *radiant.Module { return s.radiantMod }
+
+// Vent returns the distributed ventilation module.
+func (s *System) Vent() *vent.Module { return s.ventMod }
+
+// RadiantTank returns the 18 °C tank.
+func (s *System) RadiantTank() *hydraulic.Tank { return s.radiantTank }
+
+// VentTank returns the 8 °C tank.
+func (s *System) VentTank() *hydraulic.Tank { return s.ventTank }
+
+// Devices returns all battery sensor devices (for per-device hooks).
+func (s *System) Devices() []*wsn.SensorDevice {
+	out := make([]*wsn.SensorDevice, len(s.devices))
+	copy(out, s.devices)
+	return out
+}
+
+// Device returns the sensor device with the given node ID, or nil.
+func (s *System) Device(id wsn.NodeID) *wsn.SensorDevice {
+	for _, d := range s.devices {
+		if d.Node().ID() == id {
+			return d
+		}
+	}
+	return nil
+}
+
+// Recorder returns the trace recorder.
+func (s *System) Recorder() *trace.Recorder { return s.rec }
+
+// AttachSniffer installs a packet sniffer on the network, timestamped by
+// the simulation clock; w (optional) receives the CSV packet log — the
+// paper's analysis methodology.
+func (s *System) AttachSniffer(w io.Writer) (*wsn.Sniffer, error) {
+	sniffer, err := wsn.NewSniffer(s.engine.Clock().Now, w)
+	if err != nil {
+		return nil, err
+	}
+	sniffer.Attach(s.net)
+	return sniffer, nil
+}
+
+// COPRadiant returns the radiant module's accumulated COP (Bubble-C).
+func (s *System) COPRadiant() energy.COP { return s.copRadiant }
+
+// COPVent returns the ventilation module's accumulated COP (Bubble-V).
+func (s *System) COPVent() energy.COP { return s.copVent }
+
+// COPTotal returns the whole-system COP (the paper's "BubbleZERO" bar).
+func (s *System) COPTotal() energy.COP {
+	return energy.Combine(s.copRadiant, s.copVent)
+}
+
+// ResetCOP clears the COP accumulators, e.g. after the boot transient.
+func (s *System) ResetCOP() {
+	s.copRadiant = energy.COP{}
+	s.copVent = energy.COP{}
+}
+
+// CondensationSeconds returns how long any panel surface has been below
+// the local dew point — the failure mode the control decomposition must
+// prevent.
+func (s *System) CondensationSeconds() float64 { return s.condensationS }
+
+// Run advances the system by d of simulated time.
+func (s *System) Run(ctx context.Context, d time.Duration) error {
+	return s.engine.RunFor(ctx, d)
+}
+
+// Now returns the current simulated time.
+func (s *System) Now() time.Time { return s.engine.Clock().Now() }
+
+// OpenDoorAt schedules a door-opening disturbance.
+func (s *System) OpenDoorAt(at time.Time, d time.Duration) {
+	s.engine.Timeline().At(at, "door-open", func(*sim.Env) { s.room.OpenDoor(d) })
+}
+
+// OpenWindowAt schedules a window-opening disturbance.
+func (s *System) OpenWindowAt(at time.Time, d time.Duration) {
+	s.engine.Timeline().At(at, "window-open", func(*sim.Env) { s.room.OpenWindow(d) })
+}
+
+// SetOccupantsAt schedules an occupancy change in a subspace.
+func (s *System) SetOccupantsAt(at time.Time, zone thermal.ZoneID, n int) {
+	s.engine.Timeline().At(at, "occupancy", func(*sim.Env) { s.room.SetOccupants(zone, n) })
+}
+
+// Snapshot is a point-in-time view of the system for examples and logs.
+type Snapshot struct {
+	Time       time.Time
+	ZoneTempC  [thermal.NumZones]float64
+	ZoneDewC   [thermal.NumZones]float64
+	ZoneCO2PPM [thermal.NumZones]float64
+	AvgTempC   float64
+	AvgDewC    float64
+	// PMV and PPD are the Fanger comfort indices for the average room
+	// state, with the mean radiant temperature pulled down by the cooled
+	// ceiling panels.
+	PMV, PPD      float64
+	RadiantTankC  float64
+	VentTankC     float64
+	COPRadiant    float64
+	COPVent       float64
+	COPTotal      float64
+	NetStats      wsn.Stats
+	CondensationS float64
+}
+
+// Snapshot captures the current state.
+func (s *System) Snapshot() Snapshot {
+	snap := Snapshot{
+		Time:          s.Now(),
+		AvgTempC:      s.room.AverageT(),
+		AvgDewC:       s.room.AverageDewPoint(),
+		RadiantTankC:  s.radiantTank.Temp(),
+		VentTankC:     s.ventTank.Temp(),
+		COPRadiant:    s.copRadiant.Value(),
+		COPVent:       s.copVent.Value(),
+		COPTotal:      s.COPTotal().Value(),
+		NetStats:      s.net.Stats(),
+		CondensationS: s.condensationS,
+	}
+	for z := 0; z < thermal.NumZones; z++ {
+		zone := s.room.Zone(thermal.ZoneID(z))
+		snap.ZoneTempC[z] = zone.T
+		snap.ZoneDewC[z] = zone.DewPoint()
+		snap.ZoneCO2PPM[z] = zone.CO2PPM
+	}
+
+	// Comfort: the ceiling panels occupy roughly the ceiling's view
+	// factor of the occupant, pulling the mean radiant temperature below
+	// the air temperature.
+	var surfSum float64
+	for p := 0; p < radiant.NumPanels; p++ {
+		surfSum += s.radiantMod.Loop(p).Result().TSurface
+	}
+	meanSurf := surfSum / radiant.NumPanels
+	const ceilingViewFactor = 0.25
+	tr := ceilingViewFactor*meanSurf + (1-ceilingViewFactor)*snap.AvgTempC
+	rh := psychro.RHFromHumidityRatio(snap.AvgTempC, s.room.AverageW(), psychro.AtmPressure)
+	if pmv, ppd, err := comfort.Assess(comfort.DefaultOffice(snap.AvgTempC, tr, rh)); err == nil {
+		snap.PMV = pmv
+		snap.PPD = ppd
+	}
+	return snap
+}
+
+// String renders the snapshot compactly.
+func (sn Snapshot) String() string {
+	return fmt.Sprintf("%s avg %.2f°C dew %.2f°C COP %.2f (C %.2f / V %.2f)",
+		sn.Time.Format("15:04:05"), sn.AvgTempC, sn.AvgDewC,
+		sn.COPTotal, sn.COPRadiant, sn.COPVent)
+}
+
+// glue applies actuator outputs to the plant, steps the tanks, detects
+// condensation, accumulates COP, and records traces.
+func (s *System) glue(env *sim.Env) {
+	dt := env.Dt()
+	outdoor := s.room.Outdoor()
+
+	// Radiant panels → per-zone extraction, with condensation physics.
+	var radiantRemovedW float64
+	condensing := false
+	for p := 0; p < radiant.NumPanels; p++ {
+		res := s.radiantMod.Loop(p).Result()
+		radiantRemovedW += res.QW
+		zs := radiant.PanelZones(p)
+		for _, z := range zs {
+			zid := thermal.ZoneID(z)
+			s.room.SetPanelExtraction(zid, res.QW/2)
+			// Condensation: if the panel surface sits below the zone dew
+			// point, vapour condenses at a rate set by the air-side film.
+			zone := s.room.Zone(zid)
+			wSurf := psychro.HumidityRatioFromDewPoint(res.TSurface, psychro.AtmPressure)
+			if zone.W > wSurf && res.TSurface < zone.DewPoint() {
+				condensing = true
+				rate := s.cfg.PanelHAAir / 2 / 1006 * (zone.W - wSurf)
+				s.room.SetCondensation(zid, rate)
+			} else {
+				s.room.SetCondensation(zid, 0)
+			}
+		}
+	}
+	if condensing {
+		s.condensationS += dt
+	}
+
+	// Ventilation boundary conditions.
+	for z := 0; z < thermal.NumZones; z++ {
+		flow, supply, co2 := s.ventMod.VentInputFor(z)
+		s.room.SetVent(thermal.ZoneID(z), thermal.VentInput{
+			VolFlow: flow, Supply: supply, SupplyCO2PPM: co2,
+		})
+	}
+
+	// Tanks.
+	s.radiantTank.Step(dt, s.room.AverageT(), outdoor.T)
+	s.ventTank.Step(dt, s.room.AverageT(), outdoor.T)
+
+	// COP accounting at the paper's measurement points.
+	s.copRadiant.Add(radiantRemovedW,
+		s.radiantTank.ChillerElectricalW()+s.radiantMod.PumpPowerW(), dt)
+	// The paper's COP measurement boundary covers chillers and pumps; the
+	// small DC fans are not behind a power meter (§V: "we also install
+	// power meters at major energy consuming devices, including chillers
+	// and pumps").
+	s.copVent.Add(s.ventMod.CoilLoadW(),
+		s.ventTank.ChillerElectricalW()+s.ventMod.CoilPumpPowerW(), dt)
+
+	// Tracing.
+	if s.cfg.TracePeriod > 0 {
+		s.sinceTrace += dt
+		if s.sinceTrace >= s.cfg.TracePeriod.Seconds() {
+			s.sinceTrace = 0
+			s.recordTrace(env)
+		}
+	}
+}
+
+func (s *System) recordTrace(env *sim.Env) {
+	now := env.Now()
+	for z := 0; z < thermal.NumZones; z++ {
+		zone := s.room.Zone(thermal.ZoneID(z))
+		_ = s.rec.Record(fmt.Sprintf("temp.subsp%d", z+1), now, zone.T)
+		_ = s.rec.Record(fmt.Sprintf("dew.subsp%d", z+1), now, zone.DewPoint())
+		_ = s.rec.Record(fmt.Sprintf("co2.subsp%d", z+1), now, zone.CO2PPM)
+	}
+	_ = s.rec.Record("temp.outdoor", now, s.room.Outdoor().T)
+	_ = s.rec.Record("dew.outdoor", now, s.room.Outdoor().DewPoint())
+	_ = s.rec.Record("temp.avg", now, s.room.AverageT())
+	_ = s.rec.Record("dew.avg", now, s.room.AverageDewPoint())
+	_ = s.rec.Record("tank.radiant", now, s.radiantTank.Temp())
+	_ = s.rec.Record("tank.vent", now, s.ventTank.Temp())
+	_ = s.rec.Record("cop.total", now, s.COPTotal().Value())
+	if v := s.copRadiant.Value(); !math.IsNaN(v) {
+		_ = s.rec.Record("cop.radiant", now, v)
+	}
+	if v := s.copVent.Value(); !math.IsNaN(v) {
+		_ = s.rec.Record("cop.vent", now, v)
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"bubblezero/internal/adaptive"
+	"bubblezero/internal/psychro"
+	"bubblezero/internal/radiant"
+	"bubblezero/internal/sensor"
+	"bubblezero/internal/thermal"
+	"bubblezero/internal/vent"
+	"bubblezero/internal/wsn"
+)
+
+// buildTopology instantiates the deployment's nodes and the Figure 8
+// supply/consumption wiring:
+//
+//   - battery devices: per subspace one temperature (T_spl = 3 s), one
+//     humidity (2 s), and one CO₂ (4 s) sensor mote; per ceiling panel one
+//     under-panel dew mote; per airbox one outlet SHT75 mote,
+//   - AC boards: Control-C-1 (publishes T_supp), Control-C-2 ×2 (publish
+//     pump/flow state), Control-V-1 (publishes the dew target),
+//     Control-V-2 ×4 (fan commands), Control-V-3 ×4 (flap commands),
+//   - subscriptions: the radiant module consumes temperature and
+//     under-panel dew; the ventilation module consumes temperature,
+//     humidity, CO₂, airbox dew, and Control-C-1's supply temperature.
+func (s *System) buildTopology() error {
+	noise := func(name string) *rand.Rand {
+		return s.engine.RNG().Stream("sensor." + name)
+	}
+	maybe := func(m sensor.Model, truth float64, rng *rand.Rand) float64 {
+		if !s.cfg.SensorNoise {
+			return m.Read(truth, nil)
+		}
+		return m.Read(truth, rng)
+	}
+
+	addSensor := func(id string, typ wsn.MsgType, zone int, tspl float64, read func() float64) error {
+		node, err := s.net.AddNode(wsn.NodeID(id), wsn.PowerBattery)
+		if err != nil {
+			return err
+		}
+		var sched *adaptive.Scheduler
+		if s.cfg.TxMode == wsn.ModeAdaptive {
+			cfg := adaptive.DefaultConfig(tspl)
+			cfg.TrackExact = s.cfg.TrackExact
+			sched, err = adaptive.NewScheduler(cfg)
+			if err != nil {
+				return err
+			}
+		}
+		dev, err := wsn.NewSensorDevice(wsn.SensorDeviceConfig{
+			Node: node, Network: s.net, Type: typ, Zone: zone,
+			Read: read, Mode: s.cfg.TxMode, TsplS: tspl, Scheduler: sched,
+		})
+		if err != nil {
+			return err
+		}
+		s.devices = append(s.devices, dev)
+		return nil
+	}
+
+	// Per-subspace room sensors (bt-devices, §IV-B sampling periods).
+	for z := 0; z < thermal.NumZones; z++ {
+		z := z
+		tempModel := sensor.SHT75Temperature().WithRandomBias(noise(fmt.Sprintf("bias-temp%d", z)))
+		tempRNG := noise(fmt.Sprintf("temp%d", z))
+		if err := addSensor(fmt.Sprintf("bt-temp-%d", z+1), wsn.MsgTemperature, z,
+			adaptive.TsplTemperatureS, func() float64 {
+				return maybe(tempModel, s.room.Zone(thermal.ZoneID(z)).T, tempRNG)
+			}); err != nil {
+			return err
+		}
+		rhModel := sensor.SHT75Humidity().WithRandomBias(noise(fmt.Sprintf("bias-rh%d", z)))
+		rhRNG := noise(fmt.Sprintf("rh%d", z))
+		if err := addSensor(fmt.Sprintf("bt-hum-%d", z+1), wsn.MsgHumidity, z,
+			adaptive.TsplHumidityS, func() float64 {
+				return maybe(rhModel, s.room.Zone(thermal.ZoneID(z)).RH(), rhRNG)
+			}); err != nil {
+			return err
+		}
+		co2Model := sensor.CO2NDIR().WithRandomBias(noise(fmt.Sprintf("bias-co2%d", z)))
+		co2RNG := noise(fmt.Sprintf("co2%d", z))
+		if err := addSensor(fmt.Sprintf("bt-co2-%d", z+1), wsn.MsgCO2, z,
+			adaptive.TsplCO2S, func() float64 {
+				return maybe(co2Model, s.room.Zone(thermal.ZoneID(z)).CO2PPM, co2RNG)
+			}); err != nil {
+			return err
+		}
+	}
+
+	// Under-panel condensation sentinels: Control-C-1 computes T_cdew
+	// from six SHT pairs below each panel; we model the fused result as
+	// the wetter of the panel's two subspaces plus sensor noise.
+	for p := 0; p < radiant.NumPanels; p++ {
+		p := p
+		tModel := sensor.SHT75Temperature().WithRandomBias(noise(fmt.Sprintf("bias-pdt%d", p)))
+		rhModel := sensor.SHT75Humidity().WithRandomBias(noise(fmt.Sprintf("bias-pdrh%d", p)))
+		rng := noise(fmt.Sprintf("paneldew%d", p))
+		if err := addSensor(fmt.Sprintf("bt-paneldew-%d", p+1), wsn.MsgPanelDew, -1,
+			adaptive.TsplHumidityS, func() float64 {
+				zs := radiant.PanelZones(p)
+				dew := -100.0
+				for _, z := range zs {
+					zone := s.room.Zone(thermal.ZoneID(z))
+					tr := maybe(tModel, zone.T, rng)
+					rr := maybe(rhModel, zone.RH(), rng)
+					if d := psychro.DewPoint(tr, rr); d > dew {
+						dew = d
+					}
+				}
+				return dew
+			}); err != nil {
+			return err
+		}
+	}
+
+	// Airbox outlet SHT75 motes.
+	for b := 0; b < vent.NumBoxes; b++ {
+		b := b
+		tModel := sensor.SHT75Temperature().WithRandomBias(noise(fmt.Sprintf("bias-bdt%d", b)))
+		rhModel := sensor.SHT75Humidity().WithRandomBias(noise(fmt.Sprintf("bias-bdrh%d", b)))
+		rng := noise(fmt.Sprintf("boxdew%d", b))
+		if err := addSensor(fmt.Sprintf("bt-boxdew-%d", b+1), wsn.MsgAirboxDew, b,
+			adaptive.TsplHumidityS, func() float64 {
+				out := s.ventMod.Box(b).Outlet()
+				tr := maybe(tModel, out.T, rng)
+				rr := maybe(rhModel, out.RH(), rng)
+				return psychro.DewPoint(tr, rr)
+			}); err != nil {
+			return err
+		}
+	}
+
+	// AC control boards publishing their processed data (Figure 8).
+	addAC := func(id string, typ wsn.MsgType, zone int, period float64, read func() float64) error {
+		node, err := s.net.AddNode(wsn.NodeID(id), wsn.PowerAC)
+		if err != nil {
+			return err
+		}
+		pb, err := wsn.NewPeriodicBroadcaster(node, s.net, typ, zone, period, read)
+		if err != nil {
+			return err
+		}
+		s.broadcasters = append(s.broadcasters, pb)
+		return nil
+	}
+	suppModel := sensor.ADT7410().WithRandomBias(noise("bias-tsupp"))
+	suppRNG := noise("tsupp")
+	if err := addAC("ac-control-c1", wsn.MsgSupplyTemp, -1, 5, func() float64 {
+		return maybe(suppModel, s.radiantTank.Temp(), suppRNG)
+	}); err != nil {
+		return err
+	}
+	for p := 0; p < radiant.NumPanels; p++ {
+		p := p
+		if err := addAC(fmt.Sprintf("ac-control-c2-%d", p+1), wsn.MsgWaterFlow, -1, 2, func() float64 {
+			return s.radiantMod.Loop(p).FMix()
+		}); err != nil {
+			return err
+		}
+	}
+	if err := addAC("ac-control-v1", wsn.MsgDewTarget, -1, 5, func() float64 {
+		return s.ventMod.TaTarget()
+	}); err != nil {
+		return err
+	}
+	for b := 0; b < vent.NumBoxes; b++ {
+		b := b
+		if err := addAC(fmt.Sprintf("ac-control-v2-%d", b+1), wsn.MsgFanSpeed, b, 2, func() float64 {
+			return s.ventMod.Box(b).FanFlow()
+		}); err != nil {
+			return err
+		}
+		if err := addAC(fmt.Sprintf("ac-control-v3-%d", b+1), wsn.MsgFlapCmd, b, 2, func() float64 {
+			if s.ventMod.Box(b).FlapOpen() {
+				return 1
+			}
+			return 0
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Consumer-side filtering (the type-addressed broadcast bus).
+	s.net.Subscribe(func(m wsn.Message) {
+		s.radiantMod.ObserveZoneTemp(m.Zone, m.Value)
+		s.ventMod.ObserveZoneTemp(m.Zone, m.Value)
+	}, wsn.MsgTemperature)
+	s.net.Subscribe(func(m wsn.Message) {
+		s.ventMod.ObserveZoneRH(m.Zone, m.Value)
+	}, wsn.MsgHumidity)
+	s.net.Subscribe(func(m wsn.Message) {
+		s.ventMod.ObserveZoneCO2(m.Zone, m.Value)
+	}, wsn.MsgCO2)
+	s.net.Subscribe(func(m wsn.Message) {
+		// Panel index is encoded in the source node name bt-paneldew-N.
+		var p int
+		if _, err := fmt.Sscanf(string(m.Source), "bt-paneldew-%d", &p); err == nil {
+			s.radiantMod.ObservePanelDew(p-1, m.Value)
+		}
+	}, wsn.MsgPanelDew)
+	s.net.Subscribe(func(m wsn.Message) {
+		s.ventMod.ObserveSupplyTemp(m.Value)
+	}, wsn.MsgSupplyTemp)
+	s.net.Subscribe(func(m wsn.Message) {
+		s.ventMod.ObserveAirboxDew(m.Zone, m.Value)
+	}, wsn.MsgAirboxDew)
+
+	return nil
+}

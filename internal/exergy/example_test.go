@@ -1,0 +1,34 @@
+package exergy_test
+
+import (
+	"fmt"
+
+	"bubblezero/internal/exergy"
+)
+
+// The paper's §II argument in two lines: the same kilowatt of cooling
+// carries half the exergy at 18 °C as at 8 °C, so the chiller that
+// produces 18 °C water runs at a much higher COP.
+func ExampleChiller_COP() {
+	c := exergy.DefaultChiller()
+	outdoor := 28.9
+	fmt.Printf("exergy per kW at 18 °C: %.0f W\n", exergy.OfHeatFlux(1000, 18, outdoor))
+	fmt.Printf("exergy per kW at  8 °C: %.0f W\n", exergy.OfHeatFlux(1000, 8, outdoor))
+	fmt.Printf("chiller COP at 18 °C: %.2f\n", c.COP(18, outdoor))
+	fmt.Printf("chiller COP at  8 °C: %.2f\n", c.COP(8, outdoor))
+	// Output:
+	// exergy per kW at 18 °C: 36 W
+	// exergy per kW at  8 °C: 69 W
+	// chiller COP at 18 °C: 4.56
+	// chiller COP at  8 °C: 2.88
+}
+
+// Power converts a thermal duty into electrical draw; this reproduces the
+// paper's radiant-module measurement (964.8 W of heat for ≈213 W of
+// electricity).
+func ExampleChiller_Power() {
+	c := exergy.DefaultChiller()
+	fmt.Printf("%.0f W electric\n", c.Power(964.8, 18, 28.9))
+	// Output:
+	// 212 W electric
+}

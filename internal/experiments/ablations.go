@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"bubblezero/internal/adaptive"
+	"bubblezero/internal/core"
+	"bubblezero/internal/exergy"
+	"bubblezero/internal/wsn"
+)
+
+// SupplyTempPoint is one row of the low-exergy design ablation.
+type SupplyTempPoint struct {
+	TSupplyC float64
+	// ChillerCOP is the device-level coefficient of performance at this
+	// supply temperature (exergy argument).
+	ChillerCOP float64
+	// SystemCOP is the whole-system measured COP from a steady-state run
+	// with the radiant tank at this setpoint.
+	SystemCOP float64
+	// ReachedTarget reports whether the room still converged to 25 °C.
+	ReachedTarget bool
+}
+
+// AblationSupplyTemp sweeps the radiant supply-water temperature,
+// demonstrating the paper's central design argument: warmer water means
+// less lift, less exergy, and higher COP — until the panels can no longer
+// move enough heat.
+func AblationSupplyTemp(ctx context.Context, seed uint64, temps []float64) ([]SupplyTempPoint, error) {
+	if len(temps) == 0 {
+		temps = []float64{10, 14, 18, 21}
+	}
+	chiller := exergy.DefaultChiller()
+	out := make([]SupplyTempPoint, 0, len(temps))
+	for _, tc := range temps {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		cfg.RadiantSetpointC = tc
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Run(ctx, time.Hour); err != nil {
+			return nil, err
+		}
+		sys.ResetCOP()
+		if err := sys.Run(ctx, time.Hour); err != nil {
+			return nil, err
+		}
+		out = append(out, SupplyTempPoint{
+			TSupplyC:      tc,
+			ChillerCOP:    chiller.COP(tc, cfg.Thermal.Outdoor.T),
+			SystemCOP:     sys.COPTotal().Value(),
+			ReachedTarget: sys.Room().AverageT() < 25.6,
+		})
+	}
+	return out, nil
+}
+
+// NoCouplingResult is the control-decomposition ablation: running the
+// radiant loop without the dew-point guard in tropical air.
+type NoCouplingResult struct {
+	GuardedCondensationS   float64
+	UnguardedCondensationS float64
+}
+
+// AblationNoCoupling runs the system with and without the condensation
+// guard. The decomposed design only works because the modules collaborate;
+// removing the coupling wets the panels within minutes.
+func AblationNoCoupling(ctx context.Context, seed uint64) (*NoCouplingResult, error) {
+	run := func(ignore bool) (float64, error) {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		cfg.Radiant.IgnoreDewGuard = ignore
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return 0, err
+		}
+		if err := sys.Run(ctx, 45*time.Minute); err != nil {
+			return 0, err
+		}
+		return sys.CondensationSeconds(), nil
+	}
+	guarded, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	unguarded, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &NoCouplingResult{
+		GuardedCondensationS:   guarded,
+		UnguardedCondensationS: unguarded,
+	}, nil
+}
+
+// DesyncResult compares the AC-device schedule adaptation on and off
+// under a heavy (fixed-mode) traffic load.
+type DesyncResult struct {
+	WithDesync, WithoutDesync wsn.Stats
+}
+
+// AblationDesync measures collision counts with and without the AC
+// schedule desynchronisation.
+func AblationDesync(ctx context.Context, seed uint64, d time.Duration) (*DesyncResult, error) {
+	run := func(desync bool) (wsn.Stats, error) {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		cfg.TxMode = wsn.ModeFixed // maximum channel pressure
+		cfg.Net.Desync = desync
+		cfg.TracePeriod = 0
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return wsn.Stats{}, err
+		}
+		if err := sys.Run(ctx, d); err != nil {
+			return wsn.Stats{}, err
+		}
+		return sys.Network().Stats(), nil
+	}
+	with, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	without, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	return &DesyncResult{WithDesync: with, WithoutDesync: without}, nil
+}
+
+// HistogramResetResult measures the weekly counter-reset policy's effect
+// on decision accuracy over a long horizon.
+type HistogramResetResult struct {
+	// WithResetPct / WithoutResetPct are final fleet accuracies.
+	WithResetPct, WithoutResetPct float64
+}
+
+// AblationHistogramReset replays one device stream with and without a
+// periodic histogram reset. The paper resets U_i weekly "to eliminate
+// approximation errors cumulated in the past week"; over the simulated
+// horizon the effect is small but measurable.
+func AblationHistogramReset(ctx context.Context, seed uint64, d time.Duration, resetEvery time.Duration) (*HistogramResetResult, error) {
+	sc, err := RunNetScenario(ctx, seed, d)
+	if err != nil {
+		return nil, err
+	}
+	replay := func(reset bool) (float64, error) {
+		var sum float64
+		n := 0
+		for id, readings := range sc.Readings {
+			cfg := adaptive.DefaultConfig(sc.TsplS[id])
+			cfg.TrackExact = true
+			sched, err := adaptive.NewScheduler(cfg)
+			if err != nil {
+				return 0, err
+			}
+			samplesPerReset := int(resetEvery.Seconds() / sc.TsplS[id])
+			for i, v := range readings {
+				if reset && samplesPerReset > 0 && i > 0 && i%samplesPerReset == 0 {
+					sched.Histogram().Reset()
+				}
+				sched.OnSample(v)
+			}
+			if frac, decisions := sched.Accuracy(); decisions > 0 {
+				sum += frac
+				n++
+			}
+		}
+		if n == 0 {
+			return 0, fmt.Errorf("experiments: no decisions in reset ablation")
+		}
+		return sum / float64(n) * 100, nil
+	}
+	withReset, err := replay(true)
+	if err != nil {
+		return nil, err
+	}
+	withoutReset, err := replay(false)
+	if err != nil {
+		return nil, err
+	}
+	return &HistogramResetResult{WithResetPct: withReset, WithoutResetPct: withoutReset}, nil
+}
+
+// SummarizeSupplyTemp renders the sweep.
+func SummarizeSupplyTemp(pts []SupplyTempPoint) string {
+	var b strings.Builder
+	b.WriteString("Ablation: radiant supply temperature sweep (low-exergy argument)\n")
+	b.WriteString("  Tsupp  chillerCOP  systemCOP  reaches 25°C\n")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "  %4.0f°C     %6.2f      %5.2f       %v\n",
+			p.TSupplyC, p.ChillerCOP, p.SystemCOP, p.ReachedTarget)
+	}
+	return b.String()
+}

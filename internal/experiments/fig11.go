@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"bubblezero/internal/baseline"
+	"bubblezero/internal/core"
+	"bubblezero/internal/sim"
+	"bubblezero/internal/thermal"
+)
+
+// Fig11Result is the energy-efficiency comparison via the standard COP
+// metric (paper Figure 11: AirCon 2.8, Bubble-C 4.52, Bubble-V 2.82,
+// BubbleZERO 4.07).
+type Fig11Result struct {
+	AirCon     float64
+	BubbleC    float64
+	BubbleV    float64
+	BubbleZERO float64
+	// ImprovementPct is BubbleZERO's gain over AirCon (paper: 45.5 %).
+	ImprovementPct float64
+	// RadiantRemovedW / RadiantConsumedW echo the paper's raw power
+	// readings (964.8 W / 213.4 W), vent likewise (213.2 W / 75.6 W),
+	// averaged over the measurement hour.
+	RadiantRemovedW, RadiantConsumedW float64
+	VentRemovedW, VentConsumedW       float64
+}
+
+// Fig11 boots both systems to steady state and measures one steady hour.
+func Fig11(ctx context.Context, seed uint64) (*Fig11Result, error) {
+	const (
+		boot    = time.Hour
+		measure = time.Hour
+	)
+
+	// BubbleZERO.
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Run(ctx, boot); err != nil {
+		return nil, err
+	}
+	sys.ResetCOP()
+	if err := sys.Run(ctx, measure); err != nil {
+		return nil, err
+	}
+
+	// Conventional AirCon on an identical room.
+	room, err := thermal.NewRoomAtOutdoor(cfg.Thermal)
+	if err != nil {
+		return nil, err
+	}
+	unit, err := baseline.New(baseline.DefaultConfig(), room)
+	if err != nil {
+		return nil, err
+	}
+	clock := sim.MustClock(cfg.Start, cfg.Step)
+	engine := sim.NewEngine(clock, seed)
+	engine.Add(unit, room)
+	if err := engine.RunFor(ctx, boot); err != nil {
+		return nil, err
+	}
+	unit.ResetCOP()
+	if err := engine.RunFor(ctx, measure); err != nil {
+		return nil, err
+	}
+
+	r := sys.COPRadiant()
+	v := sys.COPVent()
+	res := &Fig11Result{
+		AirCon:           unit.COP().Value(),
+		BubbleC:          r.Value(),
+		BubbleV:          v.Value(),
+		BubbleZERO:       sys.COPTotal().Value(),
+		RadiantRemovedW:  r.RemovedJ / measure.Seconds(),
+		RadiantConsumedW: r.ConsumedJ / measure.Seconds(),
+		VentRemovedW:     v.RemovedJ / measure.Seconds(),
+		VentConsumedW:    v.ConsumedJ / measure.Seconds(),
+	}
+	if res.AirCon > 0 {
+		res.ImprovementPct = (res.BubbleZERO - res.AirCon) / res.AirCon * 100
+	}
+	return res, nil
+}
+
+// Summary renders the bar values next to the paper's.
+func (r *Fig11Result) Summary() string {
+	return fmt.Sprintf(
+		"Fig11 COP: AirCon %.2f (paper 2.80) | Bubble-C %.2f (4.52) | Bubble-V %.2f (2.82) | "+
+			"BubbleZERO %.2f (4.07) | improvement %.1f%% (45.5%%)",
+		r.AirCon, r.BubbleC, r.BubbleV, r.BubbleZERO, r.ImprovementPct)
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"bubblezero/internal/adaptive"
+)
+
+// Fig12Point is one row of the histogram-size selection study.
+type Fig12Point struct {
+	N           int
+	AccuracyPct float64
+	RAMBytes    int
+	CPUSeconds  float64 // modelled MSP430 execution time of Algorithm 1
+}
+
+// Fig12Result is the "Choosing the right N" study (paper Figure 12):
+// accuracy climbs to ≈98 % for large N while RAM grows linearly (130 B at
+// N = 60) and CPU time superlinearly (≈1.6 s at N = 60), motivating the
+// default N = 40.
+type Fig12Result struct {
+	Points []Fig12Point
+	// Scenario is the workload the replay used.
+	Scenario *NetScenario
+}
+
+// Fig12 replays the scenario's recorded sensor streams through schedulers
+// of varying histogram size and scores each against the exact-clustering
+// ground truth.
+func Fig12(ctx context.Context, seed uint64, d time.Duration, ns []int) (*Fig12Result, error) {
+	if len(ns) == 0 {
+		ns = []int{5, 10, 15, 20, 25, 30, 40, 50, 60, 70}
+	}
+	sc, err := RunNetScenario(ctx, seed, d)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{Scenario: sc}
+	for _, n := range ns {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+		acc, err := replayAccuracy(sc, n)
+		if err != nil {
+			return nil, err
+		}
+		hist, err := adaptive.NewHistogram(n)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Fig12Point{
+			N:           n,
+			AccuracyPct: acc * 100,
+			RAMBytes:    hist.RAMBytes(),
+			CPUSeconds:  adaptive.CPUSecondsMSP430(n),
+		})
+	}
+	return res, nil
+}
+
+// replayAccuracy feeds every recorded device stream through a fresh
+// scheduler with histogram size n and returns the mean decision accuracy.
+func replayAccuracy(sc *NetScenario, n int) (float64, error) {
+	var sum float64
+	devices := 0
+	for id, readings := range sc.Readings {
+		cfg := adaptive.DefaultConfig(sc.TsplS[id])
+		cfg.N = n
+		cfg.TrackExact = true
+		sched, err := adaptive.NewScheduler(cfg)
+		if err != nil {
+			return 0, err
+		}
+		for _, v := range readings {
+			sched.OnSample(v)
+		}
+		if frac, decisions := sched.Accuracy(); decisions > 0 {
+			sum += frac
+			devices++
+		}
+	}
+	if devices == 0 {
+		return 0, fmt.Errorf("experiments: no devices produced decisions")
+	}
+	return sum / float64(devices), nil
+}
+
+// Summary renders the N-selection table.
+func (r *Fig12Result) Summary() string {
+	var b strings.Builder
+	b.WriteString("Fig12: N selection (paper: ≈98% accuracy for large N; 130 B and ≈1.6 s at N=60)\n")
+	b.WriteString("   N  accuracy%%  RAM(B)  MSP430 CPU(s)\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %2d     %6.2f    %4d         %6.3f\n",
+			p.N, p.AccuracyPct, p.RAMBytes, p.CPUSeconds)
+	}
+	return b.String()
+}

@@ -1,0 +1,604 @@
+// Package multihop implements the paper's stated future work (§IV-A,
+// §VII): extending BubbleZERO's type-addressed broadcast design to
+// building-scale, multi-hop 802.15.4 networks by "forming 'type' based
+// multicast groups and routing messages with existing ad-hoc multicast
+// approaches".
+//
+// Nodes live on a 2D plane with a limited radio range. Producers declare
+// the message types they publish and consumers the types they need; from
+// that static interest graph the network derives, per type, a multicast
+// mesh — the union of shortest paths from every producer to every consumer
+// — and packets are forwarded only by mesh members. A TTL-limited flooding
+// mode serves as the baseline, exactly the comparison a deployment would
+// run before choosing a protocol.
+//
+// The medium model mirrors internal/wsn (per-tick airtime contention with
+// a carrier-sense blind window) but with spatial reuse: only transmissions
+// within range of a common receiver interfere.
+package multihop
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"bubblezero/internal/energy"
+	"bubblezero/internal/wsn"
+)
+
+// Routing selects the forwarding strategy.
+type Routing int
+
+// Routing modes.
+const (
+	// RoutingFlood forwards every packet at every node until the TTL
+	// expires — the baseline.
+	RoutingFlood Routing = iota + 1
+	// RoutingMesh forwards only at nodes on a shortest path between some
+	// producer and some consumer of the packet's type.
+	RoutingMesh
+)
+
+// String implements fmt.Stringer.
+func (r Routing) String() string {
+	switch r {
+	case RoutingFlood:
+		return "flood"
+	case RoutingMesh:
+		return "type-mesh"
+	default:
+		return fmt.Sprintf("routing(%d)", int(r))
+	}
+}
+
+// Config parameterises the multihop network.
+type Config struct {
+	// RangeM is the radio range in metres (the paper quotes ≈50 m
+	// reliable indoor range for TelosB; building deployments see much
+	// less through walls and floors).
+	RangeM float64
+	// AirtimeS and CCABlindS mirror the single-hop medium model.
+	AirtimeS  float64
+	CCABlindS float64
+	// LossFloor is the independent per-link loss probability.
+	LossFloor float64
+	// TTL bounds flooding; mesh forwarding also respects it.
+	TTL int
+	// Routing selects the forwarding strategy.
+	Routing Routing
+	// TickS is the slot length within which contention is resolved.
+	TickS float64
+}
+
+// DefaultConfig returns a building-scale parameterisation.
+func DefaultConfig() Config {
+	return Config{
+		RangeM:    12,
+		AirtimeS:  0.0043,
+		CCABlindS: 0.0005,
+		LossFloor: 0.01,
+		TTL:       8,
+		Routing:   RoutingMesh,
+		TickS:     1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.RangeM <= 0:
+		return fmt.Errorf("multihop: RangeM must be > 0, got %v", c.RangeM)
+	case c.AirtimeS <= 0:
+		return fmt.Errorf("multihop: AirtimeS must be > 0, got %v", c.AirtimeS)
+	case c.CCABlindS < 0 || c.CCABlindS > c.AirtimeS:
+		return fmt.Errorf("multihop: CCABlindS must be in [0, AirtimeS]")
+	case c.LossFloor < 0 || c.LossFloor >= 1:
+		return fmt.Errorf("multihop: LossFloor must be in [0, 1), got %v", c.LossFloor)
+	case c.TTL < 1:
+		return fmt.Errorf("multihop: TTL must be >= 1, got %d", c.TTL)
+	case c.Routing != RoutingFlood && c.Routing != RoutingMesh:
+		return fmt.Errorf("multihop: invalid routing %d", c.Routing)
+	case c.TickS <= 0:
+		return fmt.Errorf("multihop: TickS must be > 0, got %v", c.TickS)
+	}
+	return nil
+}
+
+// Node is a mote with a position.
+type Node struct {
+	id      wsn.NodeID
+	x, y    float64
+	class   wsn.PowerClass
+	battery *energy.Battery
+
+	produces map[wsn.MsgType]bool
+	consumes map[wsn.MsgType]bool
+
+	seq  uint32
+	seen map[packetKey]bool
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() wsn.NodeID { return n.id }
+
+// Position returns the node coordinates in metres.
+func (n *Node) Position() (x, y float64) { return n.x, n.y }
+
+// Battery returns the node battery (nil for AC nodes).
+func (n *Node) Battery() *energy.Battery { return n.battery }
+
+type packetKey struct {
+	src wsn.NodeID
+	seq uint32
+}
+
+// packet is an in-flight frame.
+type packet struct {
+	msg     wsn.Message
+	ttl     int
+	carrier *Node // current transmitter
+	hops    int
+}
+
+// Stats aggregates network counters.
+type Stats struct {
+	// Originated counts application-level messages injected.
+	Originated int
+	// Transmissions counts every frame put on the air (including
+	// forwards) — the energy-relevant figure.
+	Transmissions int
+	// Delivered counts (message, consumer) pairs that received the
+	// message at least once.
+	Delivered int
+	// Wanted counts (message, consumer) pairs that should have received
+	// it.
+	Wanted int
+	// DuplicatesSuppressed counts receptions dropped by the seen-cache.
+	DuplicatesSuppressed int
+	// Collisions counts frames corrupted by interference.
+	Collisions int
+	// TotalHops accumulates the hop count of first deliveries.
+	TotalHops int
+}
+
+// DeliveryRatio returns delivered/wanted.
+func (s Stats) DeliveryRatio() float64 {
+	if s.Wanted == 0 {
+		return 0
+	}
+	return float64(s.Delivered) / float64(s.Wanted)
+}
+
+// AvgHops returns the mean hop count of first deliveries.
+func (s Stats) AvgHops() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.TotalHops) / float64(s.Delivered)
+}
+
+// TxPerDelivery returns the energy-proportional cost: transmissions per
+// delivered (message, consumer) pair.
+func (s Stats) TxPerDelivery() float64 {
+	if s.Delivered == 0 {
+		return math.Inf(1)
+	}
+	return float64(s.Transmissions) / float64(s.Delivered)
+}
+
+// Network is the building-scale multihop medium.
+type Network struct {
+	cfg   Config
+	rng   *rand.Rand
+	nodes []*Node
+	byID  map[wsn.NodeID]*Node
+
+	// adjacency[i] lists indices of nodes within radio range of node i.
+	adjacency [][]int
+	adjDirty  bool
+
+	// mesh[t] is the set of node indices that forward type t.
+	mesh map[wsn.MsgType]map[int]bool
+
+	// queue holds frames awaiting their transmission slot (next tick).
+	queue []packet
+	// deliveredTo tracks which consumers already got each message.
+	deliveredTo map[packetKey]map[wsn.NodeID]bool
+
+	onDeliver func(consumer wsn.NodeID, msg wsn.Message, hops int)
+	stats     Stats
+}
+
+// NewNetwork builds an empty multihop network.
+func NewNetwork(cfg Config, rng *rand.Rand) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("multihop: rng must not be nil")
+	}
+	return &Network{
+		cfg:         cfg,
+		rng:         rng,
+		byID:        make(map[wsn.NodeID]*Node),
+		mesh:        make(map[wsn.MsgType]map[int]bool),
+		deliveredTo: make(map[packetKey]map[wsn.NodeID]bool),
+	}, nil
+}
+
+// AddNode places a mote at (x, y) metres.
+func (n *Network) AddNode(id wsn.NodeID, x, y float64, class wsn.PowerClass) (*Node, error) {
+	if _, exists := n.byID[id]; exists {
+		return nil, fmt.Errorf("multihop: duplicate node %q", id)
+	}
+	node := &Node{
+		id: id, x: x, y: y, class: class,
+		produces: make(map[wsn.MsgType]bool),
+		consumes: make(map[wsn.MsgType]bool),
+		seen:     make(map[packetKey]bool),
+	}
+	if class == wsn.PowerBattery {
+		node.battery = energy.NewTwoAA()
+	}
+	n.nodes = append(n.nodes, node)
+	n.byID[id] = node
+	n.adjDirty = true
+	return node, nil
+}
+
+// Node returns a registered node by ID, or nil.
+func (n *Network) Node(id wsn.NodeID) *Node { return n.byID[id] }
+
+// NodeCount returns the number of nodes.
+func (n *Network) NodeCount() int { return len(n.nodes) }
+
+// DeclareProducer registers that node publishes msgs of the given types.
+func (n *Network) DeclareProducer(id wsn.NodeID, types ...wsn.MsgType) error {
+	node, ok := n.byID[id]
+	if !ok {
+		return fmt.Errorf("multihop: unknown producer %q", id)
+	}
+	for _, t := range types {
+		node.produces[t] = true
+	}
+	n.mesh = make(map[wsn.MsgType]map[int]bool) // invalidate
+	return nil
+}
+
+// DeclareConsumer registers that node needs msgs of the given types.
+func (n *Network) DeclareConsumer(id wsn.NodeID, types ...wsn.MsgType) error {
+	node, ok := n.byID[id]
+	if !ok {
+		return fmt.Errorf("multihop: unknown consumer %q", id)
+	}
+	for _, t := range types {
+		node.consumes[t] = true
+	}
+	n.mesh = make(map[wsn.MsgType]map[int]bool)
+	return nil
+}
+
+// OnDeliver registers the application-delivery callback.
+func (n *Network) OnDeliver(fn func(consumer wsn.NodeID, msg wsn.Message, hops int)) {
+	n.onDeliver = fn
+}
+
+// Stats returns the cumulative counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// rebuildAdjacency recomputes the connectivity graph.
+func (n *Network) rebuildAdjacency() {
+	n.adjacency = make([][]int, len(n.nodes))
+	r2 := n.cfg.RangeM * n.cfg.RangeM
+	for i, a := range n.nodes {
+		for j, b := range n.nodes {
+			if i == j {
+				continue
+			}
+			dx, dy := a.x-b.x, a.y-b.y
+			if dx*dx+dy*dy <= r2 {
+				n.adjacency[i] = append(n.adjacency[i], j)
+			}
+		}
+	}
+	n.adjDirty = false
+}
+
+// Connected reports whether every consumer of every produced type is
+// reachable from some producer of that type.
+func (n *Network) Connected() bool {
+	if n.adjDirty {
+		n.rebuildAdjacency()
+	}
+	for t := range n.producedTypes() {
+		dist := n.bfsFromProducers(t)
+		for i, node := range n.nodes {
+			if node.consumes[t] && dist[i] < 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (n *Network) producedTypes() map[wsn.MsgType]bool {
+	out := make(map[wsn.MsgType]bool)
+	for _, node := range n.nodes {
+		for t := range node.produces {
+			out[t] = true
+		}
+	}
+	return out
+}
+
+// bfsFromProducers returns hop distances from the producer set of type t
+// (-1 = unreachable).
+func (n *Network) bfsFromProducers(t wsn.MsgType) []int {
+	dist := make([]int, len(n.nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	var frontier []int
+	for i, node := range n.nodes {
+		if node.produces[t] {
+			dist[i] = 0
+			frontier = append(frontier, i)
+		}
+	}
+	for len(frontier) > 0 {
+		var next []int
+		for _, i := range frontier {
+			for _, j := range n.adjacency[i] {
+				if dist[j] < 0 {
+					dist[j] = dist[i] + 1
+					next = append(next, j)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// bfsFrom returns hop distances from a single node (-1 = unreachable).
+func (n *Network) bfsFrom(start int) []int {
+	dist := make([]int, len(n.nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[start] = 0
+	frontier := []int{start}
+	for len(frontier) > 0 {
+		var next []int
+		for _, i := range frontier {
+			for _, j := range n.adjacency[i] {
+				if dist[j] < 0 {
+					dist[j] = dist[i] + 1
+					next = append(next, j)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// meshFor lazily computes the type-t multicast mesh as the union, over
+// every (producer, consumer) pair of the type, of the nodes on some
+// shortest path between them: i is included iff
+// dist_p[i] + dist_c[i] == dist_p[c].
+func (n *Network) meshFor(t wsn.MsgType) map[int]bool {
+	if m, ok := n.mesh[t]; ok {
+		return m
+	}
+	if n.adjDirty {
+		n.rebuildAdjacency()
+	}
+	m := make(map[int]bool)
+	consumerDist := make(map[int][]int)
+	for ci, cn := range n.nodes {
+		if cn.consumes[t] {
+			consumerDist[ci] = n.bfsFrom(ci)
+		}
+	}
+	for pi, pn := range n.nodes {
+		if !pn.produces[t] {
+			continue
+		}
+		dp := n.bfsFrom(pi)
+		for ci, dc := range consumerDist {
+			target := dp[ci]
+			if target < 0 {
+				continue
+			}
+			for i := range n.nodes {
+				if dp[i] >= 0 && dc[i] >= 0 && dp[i]+dc[i] == target {
+					m[i] = true
+				}
+			}
+		}
+	}
+	n.mesh[t] = m
+	return m
+}
+
+// MeshSize returns the number of forwarders for a type (diagnostics).
+func (n *Network) MeshSize(t wsn.MsgType) int { return len(n.meshFor(t)) }
+
+// Publish injects an application message from the named producer. The
+// frame goes on the air in the next Step.
+func (n *Network) Publish(id wsn.NodeID, msg wsn.Message) error {
+	node, ok := n.byID[id]
+	if !ok {
+		return fmt.Errorf("multihop: unknown node %q", id)
+	}
+	if !node.produces[msg.Type] {
+		return fmt.Errorf("multihop: node %q does not produce %v", id, msg.Type)
+	}
+	node.seq++
+	msg.Source = id
+	msg.Seq = node.seq
+	n.stats.Originated++
+	// Count the consumers that should see it.
+	for _, c := range n.nodes {
+		if c != node && c.consumes[msg.Type] {
+			n.stats.Wanted++
+		}
+	}
+	n.queue = append(n.queue, packet{msg: msg, ttl: n.cfg.TTL, carrier: node})
+	return nil
+}
+
+// Step advances one tick: every queued frame is transmitted within the
+// slot, contention is resolved per receiver neighbourhood, receivers
+// dedupe, deliver, and (per the routing policy) enqueue forwards for the
+// next tick.
+func (n *Network) Step() {
+	if len(n.queue) == 0 {
+		return
+	}
+	if n.adjDirty {
+		n.rebuildAdjacency()
+	}
+	frames := n.queue
+	n.queue = nil
+
+	// Assign transmission offsets within the tick.
+	slots := make([]txSlot, 0, len(frames))
+	for _, p := range frames {
+		sender := n.indexOf(p.carrier)
+		if sender < 0 {
+			continue
+		}
+		if b := p.carrier.battery; b != nil {
+			if b.Depleted() {
+				continue
+			}
+			b.Drain(energy.TxEnergyPerPacketJ)
+		}
+		slots = append(slots, txSlot{
+			pkt:    p,
+			sender: sender,
+			start:  n.rng.Float64() * n.cfg.TickS,
+		})
+		n.stats.Transmissions++
+	}
+
+	// Per-receiver interference: a reception fails if two in-range
+	// transmissions overlap within the CCA blind window at that receiver.
+	for _, s := range slots {
+		for _, ri := range n.adjacency[s.sender] {
+			receiver := n.nodes[ri]
+			if n.interferedAt(ri, s, slots) {
+				n.stats.Collisions++
+				continue
+			}
+			if n.cfg.LossFloor > 0 && n.rng.Float64() < n.cfg.LossFloor {
+				continue
+			}
+			n.receive(receiver, s.pkt)
+		}
+	}
+}
+
+// txSlot is one transmission attempt within the current tick.
+type txSlot struct {
+	pkt    packet
+	sender int
+	start  float64
+}
+
+// interferedAt reports whether slot s is corrupted at receiver ri by
+// another overlapping transmission audible there.
+func (n *Network) interferedAt(ri int, s txSlot, slots []txSlot) bool {
+	for _, o := range slots {
+		if o.sender == s.sender {
+			continue
+		}
+		if !n.inRange(o.sender, ri) && o.sender != ri {
+			continue
+		}
+		if math.Abs(o.start-s.start) < n.cfg.AirtimeS {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Network) inRange(i, j int) bool {
+	for _, k := range n.adjacency[i] {
+		if k == j {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Network) indexOf(node *Node) int {
+	for i, c := range n.nodes {
+		if c == node {
+			return i
+		}
+	}
+	return -1
+}
+
+// receive handles a successfully decoded frame at a node.
+func (n *Network) receive(node *Node, p packet) {
+	key := packetKey{src: p.msg.Source, seq: p.msg.Seq}
+	if node.seen[key] {
+		n.stats.DuplicatesSuppressed++
+		return
+	}
+	node.seen[key] = true
+
+	hops := p.hops + 1
+	if node.consumes[p.msg.Type] {
+		dset := n.deliveredTo[key]
+		if dset == nil {
+			dset = make(map[wsn.NodeID]bool)
+			n.deliveredTo[key] = dset
+		}
+		if !dset[node.id] {
+			dset[node.id] = true
+			n.stats.Delivered++
+			n.stats.TotalHops += hops
+			if n.onDeliver != nil {
+				n.onDeliver(node.id, p.msg, hops)
+			}
+		}
+	}
+
+	// Forwarding decision.
+	if p.ttl <= 1 {
+		return
+	}
+	forward := false
+	switch n.cfg.Routing {
+	case RoutingFlood:
+		forward = true
+	case RoutingMesh:
+		idx := n.indexOf(node)
+		forward = idx >= 0 && n.meshFor(p.msg.Type)[idx]
+	}
+	if !forward {
+		return
+	}
+	n.queue = append(n.queue, packet{
+		msg:     p.msg,
+		ttl:     p.ttl - 1,
+		carrier: node,
+		hops:    hops,
+	})
+}
+
+// RunUntilQuiet steps the network until no frames remain or maxTicks is
+// reached, returning the number of ticks consumed.
+func (n *Network) RunUntilQuiet(maxTicks int) int {
+	ticks := 0
+	for len(n.queue) > 0 && ticks < maxTicks {
+		n.Step()
+		ticks++
+	}
+	return ticks
+}

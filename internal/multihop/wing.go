@@ -1,0 +1,122 @@
+package multihop
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"bubblezero/internal/wsn"
+)
+
+// WingConfig describes the reference building-wing topology used by the
+// building-level evaluation: floors stacked FloorSepM apart, RoomsPerSide
+// rooms along each corridor, two battery motes per room (temperature and
+// humidity), an AC controller per floor, stairwell relays between floors,
+// and a supervisor consuming everything on the ground floor.
+type WingConfig struct {
+	Floors       int
+	RoomsPerSide int
+	RoomPitchM   float64
+	FloorSepM    float64
+}
+
+// DefaultWing returns the three-floor reference wing.
+func DefaultWing() WingConfig {
+	return WingConfig{Floors: 3, RoomsPerSide: 5, RoomPitchM: 8, FloorSepM: 20}
+}
+
+// Validate checks the wing parameters.
+func (w WingConfig) Validate() error {
+	if w.Floors < 1 || w.RoomsPerSide < 1 {
+		return fmt.Errorf("multihop: wing needs >= 1 floor and room, got %d×%d",
+			w.Floors, w.RoomsPerSide)
+	}
+	if w.RoomPitchM <= 0 || w.FloorSepM <= 0 {
+		return fmt.Errorf("multihop: wing pitches must be > 0")
+	}
+	return nil
+}
+
+// TempMote / HumMote / Controller name the wing's nodes.
+func (w WingConfig) TempMote(floor, room int) wsn.NodeID {
+	return wsn.NodeID(fmt.Sprintf("f%d-r%d-temp", floor, room))
+}
+
+// HumMote names a room's humidity mote.
+func (w WingConfig) HumMote(floor, room int) wsn.NodeID {
+	return wsn.NodeID(fmt.Sprintf("f%d-r%d-hum", floor, room))
+}
+
+// Controller names a floor controller.
+func (w WingConfig) Controller(floor int) wsn.NodeID {
+	return wsn.NodeID(fmt.Sprintf("f%d-ctrl", floor))
+}
+
+// BuildWing assembles the wing topology on a fresh network.
+func BuildWing(cfg Config, wing WingConfig, rng *rand.Rand) (*Network, error) {
+	if err := wing.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := NewNetwork(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	for f := 0; f < wing.Floors; f++ {
+		y := float64(f) * wing.FloorSepM
+		for r := 0; r < wing.RoomsPerSide; r++ {
+			x := float64(r) * wing.RoomPitchM
+			if _, err := net.AddNode(wing.TempMote(f, r), x, y, wsn.PowerBattery); err != nil {
+				return nil, err
+			}
+			if _, err := net.AddNode(wing.HumMote(f, r), x, y+2, wsn.PowerBattery); err != nil {
+				return nil, err
+			}
+			if err := net.DeclareProducer(wing.TempMote(f, r), wsn.MsgTemperature); err != nil {
+				return nil, err
+			}
+			if err := net.DeclareProducer(wing.HumMote(f, r), wsn.MsgHumidity); err != nil {
+				return nil, err
+			}
+		}
+		ctrl := wing.Controller(f)
+		if _, err := net.AddNode(ctrl, float64(wing.RoomsPerSide-1)*wing.RoomPitchM/2, y+4, wsn.PowerAC); err != nil {
+			return nil, err
+		}
+		if err := net.DeclareConsumer(ctrl, wsn.MsgTemperature, wsn.MsgHumidity); err != nil {
+			return nil, err
+		}
+		if f > 0 {
+			relay := wsn.NodeID(fmt.Sprintf("stair-%d", f))
+			if _, err := net.AddNode(relay, 0, y-wing.FloorSepM/2, wsn.PowerAC); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := net.AddNode("supervisor", 0, -3, wsn.PowerAC); err != nil {
+		return nil, err
+	}
+	if err := net.DeclareConsumer("supervisor", wsn.MsgTemperature, wsn.MsgHumidity); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// RunWingWorkload publishes rounds of staggered per-room reports and
+// returns the final statistics.
+func RunWingWorkload(net *Network, wing WingConfig, rounds int) (Stats, error) {
+	for round := 0; round < rounds; round++ {
+		for f := 0; f < wing.Floors; f++ {
+			for r := 0; r < wing.RoomsPerSide; r++ {
+				if err := net.Publish(wing.TempMote(f, r),
+					wsn.Message{Type: wsn.MsgTemperature, Value: 24 + float64(f)}); err != nil {
+					return Stats{}, err
+				}
+				if err := net.Publish(wing.HumMote(f, r),
+					wsn.Message{Type: wsn.MsgHumidity, Value: 55}); err != nil {
+					return Stats{}, err
+				}
+				net.RunUntilQuiet(30)
+			}
+		}
+	}
+	return net.Stats(), nil
+}

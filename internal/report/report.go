@@ -1,0 +1,125 @@
+package report
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"bubblezero/internal/experiments"
+)
+
+// Generate runs the full evaluation suite and writes a markdown report:
+// every figure's headline numbers next to the paper's, with ASCII charts
+// of the key series. hours controls the networking-scenario length (the
+// paper uses five).
+func Generate(ctx context.Context, seed uint64, hours float64, w io.Writer) error {
+	d := time.Duration(hours * float64(time.Hour))
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+
+	if err := p("# BubbleZERO — regenerated evaluation (seed %d)\n\n", seed); err != nil {
+		return err
+	}
+
+	// Figure 10.
+	fig10, err := experiments.Fig10(ctx, seed)
+	if err != nil {
+		return fmt.Errorf("fig10: %w", err)
+	}
+	if err := p("## Figure 10 — overall HVAC performance\n\n%s\n\n", fig10.Summary()); err != nil {
+		return err
+	}
+	if err := p("```\n%s```\n\n```\n%s```\n\n",
+		Chart(fig10.Recorder.Series("temp.avg"), 72, 10),
+		Chart(fig10.Recorder.Series("dew.avg"), 72, 10)); err != nil {
+		return err
+	}
+
+	// Figure 11.
+	fig11, err := experiments.Fig11(ctx, seed)
+	if err != nil {
+		return fmt.Errorf("fig11: %w", err)
+	}
+	if err := p("## Figure 11 — energy efficiency (COP)\n\n%s\n\n```\n%s```\n\n",
+		fig11.Summary(),
+		BarChart(
+			[]string{"AirCon", "Bubble-C", "Bubble-V", "BubbleZERO"},
+			[]float64{fig11.AirCon, fig11.BubbleC, fig11.BubbleV, fig11.BubbleZERO},
+			48)); err != nil {
+		return err
+	}
+
+	// Figure 12.
+	fig12, err := experiments.Fig12(ctx, seed, d, nil)
+	if err != nil {
+		return fmt.Errorf("fig12: %w", err)
+	}
+	if err := p("## Figure 12 — choosing the right N\n\n```\n%s```\n\n", fig12.Summary()); err != nil {
+		return err
+	}
+
+	// Figure 13.
+	fig13, err := experiments.Fig13(ctx, seed, d)
+	if err != nil {
+		return fmt.Errorf("fig13: %w", err)
+	}
+	if err := p("## Figure 13 — accuracy as time elapses\n\n%s\n\n```\n%s```\n\n",
+		fig13.Summary(), Chart(fig13.Accuracy, 72, 8)); err != nil {
+		return err
+	}
+
+	// Figure 14.
+	fig14, err := experiments.Fig14(ctx, seed, d)
+	if err != nil {
+		return fmt.Errorf("fig14: %w", err)
+	}
+	if err := p("## Figure 14 — T_snd adaptation\n\n%s\n\n```\n%s```\n\n",
+		fig14.Summary(), Chart(fig14.Tsnd, 72, 8)); err != nil {
+		return err
+	}
+
+	// Figure 15.
+	fig15, err := experiments.Fig15(ctx, seed, d)
+	if err != nil {
+		return fmt.Errorf("fig15: %w", err)
+	}
+	if err := p("## Figure 15 — T_snd distribution and lifetime\n\n%s\n\n```\n%s```\n\n",
+		fig15.Summary(), CDFChart(fig15.CDFXs, fig15.CDFPs, 48)); err != nil {
+		return err
+	}
+
+	// Exergy audit.
+	audit, err := experiments.ExergyAudit(ctx, seed)
+	if err != nil {
+		return fmt.Errorf("exergy audit: %w", err)
+	}
+	if err := p("## Exergy audit\n\n```\n%s```\n\n", audit.Summary()); err != nil {
+		return err
+	}
+
+	// Ablations.
+	sweep, err := experiments.AblationSupplyTemp(ctx, seed, nil)
+	if err != nil {
+		return fmt.Errorf("supply sweep: %w", err)
+	}
+	nc, err := experiments.AblationNoCoupling(ctx, seed)
+	if err != nil {
+		return fmt.Errorf("no-coupling: %w", err)
+	}
+	ds, err := experiments.AblationDesync(ctx, seed, 30*time.Minute)
+	if err != nil {
+		return fmt.Errorf("desync: %w", err)
+	}
+	if err := p("## Ablations\n\n```\n%s```\n\n"+
+		"- condensation guard: %.0f s wet (guarded) vs %.0f s (unguarded)\n"+
+		"- AC desync: %d collisions vs %d without\n",
+		experiments.SummarizeSupplyTemp(sweep),
+		nc.GuardedCondensationS, nc.UnguardedCondensationS,
+		ds.WithDesync.Collided, ds.WithoutDesync.Collided); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var testStart = time.Date(2014, 3, 10, 13, 0, 0, 0, time.UTC)
+
+func TestNewClockRejectsNonPositiveStep(t *testing.T) {
+	for _, step := range []time.Duration{0, -time.Second} {
+		if _, err := NewClock(testStart, step); err == nil {
+			t.Errorf("NewClock(step=%v) expected error", step)
+		}
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := MustClock(testStart, time.Second)
+	if got := c.Now(); !got.Equal(testStart) {
+		t.Fatalf("Now() = %v, want %v", got, testStart)
+	}
+	for i := 0; i < 90; i++ {
+		c.Advance()
+	}
+	want := testStart.Add(90 * time.Second)
+	if got := c.Now(); !got.Equal(want) {
+		t.Errorf("after 90 steps Now() = %v, want %v", got, want)
+	}
+	if got := c.Elapsed(); got != 90*time.Second {
+		t.Errorf("Elapsed() = %v, want 90s", got)
+	}
+	if got := c.Tick(); got != 90 {
+		t.Errorf("Tick() = %d, want 90", got)
+	}
+}
+
+func TestClockSubSecondStep(t *testing.T) {
+	c := MustClock(testStart, 250*time.Millisecond)
+	for i := 0; i < 7; i++ {
+		c.Advance()
+	}
+	want := testStart.Add(1750 * time.Millisecond)
+	if got := c.Now(); !got.Equal(want) {
+		t.Errorf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestRNGStreamsAreDeterministic(t *testing.T) {
+	a := NewRNG(42).Stream("thermal")
+	b := NewRNG(42).Stream("thermal")
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Float64(), b.Float64(); av != bv {
+			t.Fatalf("draw %d differs: %v vs %v", i, av, bv)
+		}
+	}
+}
+
+func TestRNGStreamsAreIndependentByName(t *testing.T) {
+	root := NewRNG(42)
+	a := root.Stream("thermal")
+	b := root.Stream("network")
+	same := 0
+	const n = 64
+	for i := 0; i < n; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("streams with different names produced identical sequences")
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a := NewRNG(1).Stream("s")
+	b := NewRNG(2).Stream("s")
+	same := 0
+	const n = 64
+	for i := 0; i < n; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestEngineStepsComponentsInOrder(t *testing.T) {
+	e := NewEngine(MustClock(testStart, time.Second), 1)
+	var order []string
+	mk := func(name string) Component {
+		return ComponentFunc{ID: name, Fn: func(*Env) { order = append(order, name) }}
+	}
+	e.Add(mk("plant"), mk("sensors"), mk("controller"))
+	if err := e.RunTicks(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"plant", "sensors", "controller", "plant", "sensors", "controller"}
+	if len(order) != len(want) {
+		t.Fatalf("got %d calls, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Errorf("call %d = %s, want %s", i, order[i], want[i])
+		}
+	}
+}
+
+func TestEngineRunForWholeTicks(t *testing.T) {
+	e := NewEngine(MustClock(testStart, time.Second), 1)
+	n := 0
+	e.Add(ComponentFunc{ID: "count", Fn: func(*Env) { n++ }})
+	if err := e.RunFor(context.Background(), 90*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n != 90 {
+		t.Errorf("component stepped %d times, want 90", n)
+	}
+}
+
+func TestEngineContextCancellation(t *testing.T) {
+	e := NewEngine(MustClock(testStart, time.Second), 1)
+	e.Add(ComponentFunc{ID: "noop", Fn: func(*Env) {}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := e.RunTicks(ctx, 10)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Errorf("RunTicks with cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestEngineStopCondition(t *testing.T) {
+	e := NewEngine(MustClock(testStart, time.Second), 1)
+	n := 0
+	e.Add(ComponentFunc{ID: "count", Fn: func(*Env) { n++ }})
+	e.SetStopCondition(func(env *Env) bool { return n >= 5 })
+	err := e.RunTicks(context.Background(), 100)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if n != 5 {
+		t.Errorf("stopped after %d ticks, want 5", n)
+	}
+}
+
+func TestEnvExposesClock(t *testing.T) {
+	e := NewEngine(MustClock(testStart, 2*time.Second), 1)
+	var dts []float64
+	var ticks []uint64
+	e.Add(ComponentFunc{ID: "probe", Fn: func(env *Env) {
+		dts = append(dts, env.Dt())
+		ticks = append(ticks, env.Tick())
+	}})
+	if err := e.RunTicks(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	for i, dt := range dts {
+		if dt != 2.0 {
+			t.Errorf("Dt at tick %d = %v, want 2.0", i, dt)
+		}
+	}
+	for i, tk := range ticks {
+		if tk != uint64(i) {
+			t.Errorf("Tick %d reported as %d", i, tk)
+		}
+	}
+}
+
+func TestTimelineFiresInOrder(t *testing.T) {
+	e := NewEngine(MustClock(testStart, time.Second), 1)
+	e.Add(ComponentFunc{ID: "noop", Fn: func(*Env) {}})
+	var fired []string
+	e.Timeline().At(testStart.Add(5*time.Second), "b", func(*Env) { fired = append(fired, "b") })
+	e.Timeline().At(testStart.Add(2*time.Second), "a", func(*Env) { fired = append(fired, "a") })
+	e.Timeline().At(testStart.Add(5*time.Second), "c", func(*Env) { fired = append(fired, "c") })
+	if err := e.RunTicks(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Errorf("fired[%d] = %s, want %s", i, fired[i], want[i])
+		}
+	}
+	if e.Timeline().Len() != 0 {
+		t.Errorf("timeline still has %d events", e.Timeline().Len())
+	}
+}
+
+func TestTimelineEventAtStartFiresOnFirstTick(t *testing.T) {
+	e := NewEngine(MustClock(testStart, time.Second), 1)
+	fired := false
+	e.Timeline().At(testStart, "boot", func(*Env) { fired = true })
+	if err := e.RunTicks(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("event scheduled at clock start did not fire on tick 0")
+	}
+}
+
+func TestTimelinePastEventFiresImmediately(t *testing.T) {
+	e := NewEngine(MustClock(testStart, time.Second), 1)
+	fired := false
+	e.Timeline().At(testStart.Add(-time.Hour), "past", func(*Env) { fired = true })
+	if err := e.RunTicks(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("past-dated event did not fire")
+	}
+}
+
+// Property: clock time after n steps equals start + n*step for any small n
+// and step.
+func TestClockAdvanceProperty(t *testing.T) {
+	f := func(nRaw uint16, stepMsRaw uint16) bool {
+		n := uint64(nRaw % 1000)
+		stepMs := int64(stepMsRaw%5000) + 1
+		c := MustClock(testStart, time.Duration(stepMs)*time.Millisecond)
+		for i := uint64(0); i < n; i++ {
+			c.Advance()
+		}
+		want := testStart.Add(time.Duration(int64(n)*stepMs) * time.Millisecond)
+		return c.Now().Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: timeline fires every scheduled event exactly once regardless of
+// scheduling order, as long as the run covers the horizon.
+func TestTimelineAllEventsFireProperty(t *testing.T) {
+	f := func(offsets []uint8) bool {
+		if len(offsets) > 50 {
+			offsets = offsets[:50]
+		}
+		e := NewEngine(MustClock(testStart, time.Second), 1)
+		count := 0
+		for _, off := range offsets {
+			at := testStart.Add(time.Duration(off%100) * time.Second)
+			e.Timeline().At(at, "ev", func(*Env) { count++ })
+		}
+		if err := e.RunTicks(context.Background(), 101); err != nil {
+			return false
+		}
+		return count == len(offsets)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

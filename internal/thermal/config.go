@@ -1,0 +1,122 @@
+// Package thermal implements the multi-zone lumped-capacitance model of
+// the BubbleZERO laboratory (§II "BubbleZERO laboratory"): a 60 m³ room
+// (6 m × 5 m × 2 m) divided into four equal subspaces arranged in a 2×2
+// grid, each with its own sensible-heat, moisture, and CO₂ balance,
+// coupled by turbulent inter-zone mixing, an insulated envelope to the
+// tropical outdoors, occupant loads, and door/window disturbance events.
+//
+// The model is calibrated so that the controlled pull-down from the
+// paper's initial condition (28.9 °C, 27.4 °C dew point) to the target
+// (25 °C, 18 °C dew point) takes on the order of 30 minutes, matching
+// Figure 10. It is a control-oriented RC model, not CFD.
+package thermal
+
+import (
+	"fmt"
+
+	"bubblezero/internal/psychro"
+)
+
+// NumZones is the number of subspaces in the BubbleZERO laboratory. The
+// indoor space is organised into four equal subspaces labelled
+// subspace-1 … subspace-4 (paper §III-A, Figure 2).
+const NumZones = 4
+
+// ZoneID identifies a subspace, 0-based (subspace-1 is ZoneID 0).
+type ZoneID int
+
+// String renders the paper's subspace naming.
+func (z ZoneID) String() string { return fmt.Sprintf("subspace-%d", int(z)+1) }
+
+// Valid reports whether the ID addresses one of the four subspaces.
+func (z ZoneID) Valid() bool { return z >= 0 && z < NumZones }
+
+// adjacency lists the 2×2 grid neighbourhood used for inter-zone mixing:
+//
+//	1 | 2        (door is in subspace-1, close to subspace-2)
+//	--+--
+//	3 | 4
+var adjacency = [NumZones][]ZoneID{
+	0: {1, 2},
+	1: {0, 3},
+	2: {0, 3},
+	3: {1, 2},
+}
+
+// Config parameterises the room model.
+type Config struct {
+	// ZoneVolume is the air volume of each subspace in m³ (15 m³ in the
+	// laboratory: 60 m³ / 4).
+	ZoneVolume float64
+	// ThermalCapMult scales the air heat capacity to account for furniture
+	// and interior-surface thermal mass that the lumped node represents.
+	ThermalCapMult float64
+	// MoistureCapMult scales the air moisture capacity for hygroscopic
+	// surface buffering.
+	MoistureCapMult float64
+	// EnvelopeUA is the whole-room envelope conductance to outdoors in
+	// W/K; it is split evenly across zones.
+	EnvelopeUA float64
+	// InfiltrationACH is the envelope air leakage in air changes per hour.
+	InfiltrationACH float64
+	// InterZoneFlow is the turbulent mixing flow between adjacent zones in
+	// m³/s.
+	InterZoneFlow float64
+	// DoorFlow is the air exchange flow with outdoors while the door is
+	// open, in m³/s. The door is in subspace-1.
+	DoorFlow float64
+	// WindowFlow is the equivalent for the window (in subspace-3).
+	WindowFlow float64
+	// OccupantSensibleW, OccupantLatentKgS, and OccupantCO2Ls are the
+	// per-person loads: sensible heat (W), moisture (kg/s), CO₂ (L/s).
+	OccupantSensibleW float64
+	OccupantLatentKgS float64
+	OccupantCO2Ls     float64
+	// Outdoor is the boundary condition.
+	Outdoor psychro.State
+	// OutdoorCO2PPM is the outdoor CO₂ concentration.
+	OutdoorCO2PPM float64
+}
+
+// DefaultConfig returns the calibrated BubbleZERO laboratory model with the
+// paper's outdoor condition (28.9 °C dry bulb, 27.4 °C dew point).
+func DefaultConfig() Config {
+	return Config{
+		ZoneVolume:        15.0,
+		ThermalCapMult:    8.0,
+		MoistureCapMult:   1.2,
+		EnvelopeUA:        220.0,
+		InfiltrationACH:   0.04,
+		InterZoneFlow:     0.08,
+		DoorFlow:          0.09,
+		WindowFlow:        0.07,
+		OccupantSensibleW: 70,
+		OccupantLatentKgS: 1.3e-5, // ≈47 g/h
+		OccupantCO2Ls:     0.0052,
+		Outdoor:           psychro.NewStateDewPoint(28.9, 27.4, 0),
+		OutdoorCO2PPM:     410,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.ZoneVolume <= 0:
+		return fmt.Errorf("thermal: ZoneVolume must be > 0, got %v", c.ZoneVolume)
+	case c.ThermalCapMult < 1:
+		return fmt.Errorf("thermal: ThermalCapMult must be >= 1, got %v", c.ThermalCapMult)
+	case c.MoistureCapMult < 1:
+		return fmt.Errorf("thermal: MoistureCapMult must be >= 1, got %v", c.MoistureCapMult)
+	case c.EnvelopeUA < 0:
+		return fmt.Errorf("thermal: EnvelopeUA must be >= 0, got %v", c.EnvelopeUA)
+	case c.InfiltrationACH < 0:
+		return fmt.Errorf("thermal: InfiltrationACH must be >= 0, got %v", c.InfiltrationACH)
+	case c.InterZoneFlow < 0:
+		return fmt.Errorf("thermal: InterZoneFlow must be >= 0, got %v", c.InterZoneFlow)
+	case c.DoorFlow < 0 || c.WindowFlow < 0:
+		return fmt.Errorf("thermal: door/window flows must be >= 0")
+	case c.OutdoorCO2PPM < 0:
+		return fmt.Errorf("thermal: OutdoorCO2PPM must be >= 0, got %v", c.OutdoorCO2PPM)
+	}
+	return nil
+}

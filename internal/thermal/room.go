@@ -1,0 +1,311 @@
+package thermal
+
+import (
+	"fmt"
+	"time"
+
+	"bubblezero/internal/psychro"
+	"bubblezero/internal/sim"
+)
+
+const cpAir = 1006.0 // J/(kg·K)
+
+// ZoneState is the prognostic state of one subspace.
+type ZoneState struct {
+	// T is the zone dry-bulb temperature in °C.
+	T float64
+	// W is the zone humidity ratio in kg/kg.
+	W float64
+	// CO2PPM is the zone CO₂ concentration in ppm.
+	CO2PPM float64
+}
+
+// Air returns the zone air as a psychrometric state at sea level.
+func (z ZoneState) Air() psychro.State {
+	return psychro.State{T: z.T, W: z.W, P: psychro.AtmPressure}
+}
+
+// DewPoint returns the zone dew-point temperature in °C.
+func (z ZoneState) DewPoint() float64 { return z.Air().DewPoint() }
+
+// RH returns the zone relative humidity in percent.
+func (z ZoneState) RH() float64 { return z.Air().RH() }
+
+// VentInput is the per-zone ventilation boundary condition set by the
+// distributed ventilation module each step: the airbox supplies VolFlow of
+// air in the Supply state while the CO₂flap exhausts the same volume of
+// zone air.
+type VentInput struct {
+	// VolFlow is the supply volume flow in m³/s.
+	VolFlow float64
+	// Supply is the state of the air leaving the airbox.
+	Supply psychro.State
+	// SupplyCO2PPM is the CO₂ concentration of the supply air.
+	SupplyCO2PPM float64
+}
+
+// Room is the four-zone laboratory model. It implements sim.Component;
+// actuator inputs (ventilation, panel extraction, condensation) are set by
+// upstream components each tick and consumed during Step.
+type Room struct {
+	cfg Config
+
+	zones [NumZones]ZoneState
+
+	// Per-step inputs (reset is not needed; setters overwrite each tick).
+	vent         [NumZones]VentInput
+	panelExtract [NumZones]float64 // W removed by radiant panels
+	condensation [NumZones]float64 // kg/s moisture removed on cold surfaces
+	occupants    [NumZones]int
+
+	doorRemaining   float64 // seconds the door stays open
+	windowRemaining float64
+
+	doorOpenings   int
+	windowOpenings int
+}
+
+var _ sim.Component = (*Room)(nil)
+
+// NewRoom builds a room whose zones all start in the given initial state
+// with the given CO₂ concentration.
+func NewRoom(cfg Config, initial psychro.State, initialCO2 float64) (*Room, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Room{cfg: cfg}
+	for i := range r.zones {
+		r.zones[i] = ZoneState{T: initial.T, W: initial.W, CO2PPM: initialCO2}
+	}
+	return r, nil
+}
+
+// NewRoomAtOutdoor builds a room initially in equilibrium with the
+// configured outdoor condition — the paper's experiment starting point
+// ("Initially, the indoor condition is similar as the outdoor").
+func NewRoomAtOutdoor(cfg Config) (*Room, error) {
+	return NewRoom(cfg, cfg.Outdoor, cfg.OutdoorCO2PPM)
+}
+
+// Name implements sim.Component.
+func (r *Room) Name() string { return "thermal.room" }
+
+// Config returns the room configuration.
+func (r *Room) Config() Config { return r.cfg }
+
+// Zone returns the state of the given subspace.
+func (r *Room) Zone(id ZoneID) ZoneState {
+	if !id.Valid() {
+		return ZoneState{}
+	}
+	return r.zones[id]
+}
+
+// AverageT returns the room-average dry-bulb temperature (°C) — the
+// quantity the paper computes "by averaging temperature readings from a
+// set of sensors deployed in the room".
+func (r *Room) AverageT() float64 {
+	var sum float64
+	for _, z := range r.zones {
+		sum += z.T
+	}
+	return sum / NumZones
+}
+
+// AverageW returns the room-average humidity ratio (kg/kg).
+func (r *Room) AverageW() float64 {
+	var sum float64
+	for _, z := range r.zones {
+		sum += z.W
+	}
+	return sum / NumZones
+}
+
+// AverageDewPoint returns the dew point (°C) of the average room state.
+func (r *Room) AverageDewPoint() float64 {
+	return psychro.DewPointFromHumidityRatio(r.AverageW(), psychro.AtmPressure)
+}
+
+// AverageCO2 returns the room-average CO₂ concentration (ppm).
+func (r *Room) AverageCO2() float64 {
+	var sum float64
+	for _, z := range r.zones {
+		sum += z.CO2PPM
+	}
+	return sum / NumZones
+}
+
+// Outdoor returns the current outdoor boundary condition.
+func (r *Room) Outdoor() psychro.State { return r.cfg.Outdoor }
+
+// SetOutdoor updates the outdoor boundary condition mid-run.
+func (r *Room) SetOutdoor(s psychro.State) { r.cfg.Outdoor = s }
+
+// SetVent installs the ventilation boundary condition for a zone. It stays
+// in effect until overwritten.
+func (r *Room) SetVent(id ZoneID, in VentInput) {
+	if id.Valid() {
+		r.vent[id] = in
+	}
+}
+
+// SetPanelExtraction sets the radiant heat (W) currently being removed
+// from a zone by the ceiling panel above it.
+func (r *Room) SetPanelExtraction(id ZoneID, watts float64) {
+	if id.Valid() {
+		r.panelExtract[id] = watts
+	}
+}
+
+// SetCondensation sets the rate (kg/s) at which moisture is condensing out
+// of a zone onto cold surfaces.
+func (r *Room) SetCondensation(id ZoneID, kgPerS float64) {
+	if id.Valid() && kgPerS >= 0 {
+		r.condensation[id] = kgPerS
+	}
+}
+
+// SetOccupants sets the number of people in a zone.
+func (r *Room) SetOccupants(id ZoneID, n int) {
+	if id.Valid() && n >= 0 {
+		r.occupants[id] = n
+	}
+}
+
+// Occupants returns the occupant count of a zone.
+func (r *Room) Occupants(id ZoneID) int {
+	if !id.Valid() {
+		return 0
+	}
+	return r.occupants[id]
+}
+
+// OpenDoor opens the door (subspace-1) for the given duration, exchanging
+// outdoor air at the configured DoorFlow. Reopening while already open
+// extends the interval.
+func (r *Room) OpenDoor(d time.Duration) {
+	if s := d.Seconds(); s > r.doorRemaining {
+		r.doorRemaining = s
+	}
+	r.doorOpenings++
+}
+
+// OpenWindow opens the window (subspace-3) for the given duration.
+func (r *Room) OpenWindow(d time.Duration) {
+	if s := d.Seconds(); s > r.windowRemaining {
+		r.windowRemaining = s
+	}
+	r.windowOpenings++
+}
+
+// DoorOpen reports whether the door is currently open.
+func (r *Room) DoorOpen() bool { return r.doorRemaining > 0 }
+
+// WindowOpen reports whether the window is currently open.
+func (r *Room) WindowOpen() bool { return r.windowRemaining > 0 }
+
+// DoorOpenings returns the cumulative number of door-open events.
+func (r *Room) DoorOpenings() int { return r.doorOpenings }
+
+// Step implements sim.Component: forward-Euler integration of the three
+// balances over one tick.
+func (r *Room) Step(env *sim.Env) {
+	dt := env.Dt()
+	out := r.cfg.Outdoor
+	rhoOut := psychro.DryAirDensity(out.T, out.P)
+
+	var next [NumZones]ZoneState
+	for i := range r.zones {
+		z := r.zones[i]
+		rho := psychro.DryAirDensity(z.T, psychro.AtmPressure)
+		mass := rho * r.cfg.ZoneVolume
+		heatCap := mass * cpAir * r.cfg.ThermalCapMult
+		moistCap := mass * r.cfg.MoistureCapMult
+
+		var q float64       // W into the zone air node
+		var wFlow float64   // kg/s of water vapour into the zone
+		var co2Flow float64 // ppm·m³/s equivalent
+
+		// Envelope conduction, split evenly.
+		q += r.cfg.EnvelopeUA / NumZones * (out.T - z.T)
+
+		// Infiltration.
+		infVol := r.cfg.InfiltrationACH * r.cfg.ZoneVolume / 3600 // m³/s
+		q += infVol * rhoOut * cpAir * (out.T - z.T)
+		wFlow += infVol * rhoOut * (out.W - z.W)
+		co2Flow += infVol * (r.cfg.OutdoorCO2PPM - z.CO2PPM)
+
+		// Inter-zone mixing with each neighbour.
+		for _, n := range adjacency[i] {
+			zn := r.zones[n]
+			mdot := r.cfg.InterZoneFlow * rho
+			q += mdot * cpAir * (zn.T - z.T)
+			wFlow += mdot * (zn.W - z.W)
+			co2Flow += r.cfg.InterZoneFlow * (zn.CO2PPM - z.CO2PPM)
+		}
+
+		// Door (subspace-1) and window (subspace-3) exchange.
+		var leakVol float64
+		if i == 0 && r.doorRemaining > 0 {
+			leakVol += r.cfg.DoorFlow
+		}
+		if i == 2 && r.windowRemaining > 0 {
+			leakVol += r.cfg.WindowFlow
+		}
+		if leakVol > 0 {
+			q += leakVol * rhoOut * cpAir * (out.T - z.T)
+			wFlow += leakVol * rhoOut * (out.W - z.W)
+			co2Flow += leakVol * (r.cfg.OutdoorCO2PPM - z.CO2PPM)
+		}
+
+		// Occupants.
+		n := float64(r.occupants[i])
+		q += n * r.cfg.OccupantSensibleW
+		wFlow += n * r.cfg.OccupantLatentKgS
+		co2Flow += n * r.cfg.OccupantCO2Ls / 1000 * 1e6 / 1 // L/s → m³/s → ppm·m³/s
+
+		// Ventilation: supply in, equal exhaust of zone air out.
+		if v := r.vent[i]; v.VolFlow > 0 {
+			mdotV := v.VolFlow * psychro.DryAirDensity(v.Supply.T, v.Supply.P)
+			q += mdotV * cpAir * (v.Supply.T - z.T)
+			wFlow += mdotV * (v.Supply.W - z.W)
+			co2Flow += v.VolFlow * (v.SupplyCO2PPM - z.CO2PPM)
+		}
+
+		// Radiant panel extraction and surface condensation.
+		q -= r.panelExtract[i]
+		wFlow -= r.condensation[i]
+
+		next[i] = ZoneState{
+			T:      z.T + q/heatCap*dt,
+			W:      z.W + wFlow/moistCap*dt,
+			CO2PPM: z.CO2PPM + co2Flow/r.cfg.ZoneVolume*dt,
+		}
+		if next[i].W < 0 {
+			next[i].W = 0
+		}
+		if next[i].CO2PPM < 0 {
+			next[i].CO2PPM = 0
+		}
+	}
+	r.zones = next
+
+	if r.doorRemaining > 0 {
+		r.doorRemaining -= dt
+		if r.doorRemaining < 0 {
+			r.doorRemaining = 0
+		}
+	}
+	if r.windowRemaining > 0 {
+		r.windowRemaining -= dt
+		if r.windowRemaining < 0 {
+			r.windowRemaining = 0
+		}
+	}
+}
+
+// String summarises the room state for logs.
+func (r *Room) String() string {
+	return fmt.Sprintf("room avg %.2f°C dp %.2f°C co2 %.0fppm",
+		r.AverageT(), r.AverageDewPoint(), r.AverageCO2())
+}

@@ -1,0 +1,99 @@
+// Package wsn simulates BubbleZERO's IEEE 802.15.4 wireless sensor
+// network (§IV): TelosB-class nodes share a single collision domain (the
+// paper: motes "can reliably communicate up to 50m in the indoor
+// environment", so every consumer hears every supplier), messages are
+// addressed by data *type* rather than by receiver and broadcast on the
+// channel, and consumers filter the types they need. The medium model
+// resolves per-tick contention with CSMA-style deferral, a CCA blind
+// window that produces collisions between near-simultaneous senders, and
+// an independent loss floor. Nodes are AC- or battery-powered; battery
+// nodes carry a TelosB energy budget, and AC nodes can optionally
+// desynchronise their transmission schedules to reduce contention
+// (§IV "we let the AC powered devices adapt their transmission schedules
+// to alleviate channel contentions").
+package wsn
+
+import "fmt"
+
+// MsgType categorises a broadcast message. The paper: "we let the
+// suppliers categorize and address its data messages to certain 'types',
+// e.g., temperature, humidity, CO2 concentration, etc".
+type MsgType int
+
+// Message types exchanged in BubbleZERO (Figure 8's data supply and
+// consumption relationships).
+const (
+	MsgTemperature MsgType = iota + 1 // room air temperature (°C)
+	MsgHumidity                       // room relative humidity (%)
+	MsgCO2                            // room CO₂ concentration (ppm)
+	MsgPanelDew                       // under-panel dew point (°C), Control-C-1
+	MsgWaterTemp                      // pipe water temperature (°C)
+	MsgWaterFlow                      // pipe water flow (L/min)
+	MsgSupplyTemp                     // tank supply temperature T_supp (°C)
+	MsgAirboxDew                      // airbox outlet dew point (°C)
+	MsgDewTarget                      // computed target dew point (°C)
+	MsgFanSpeed                       // airbox fan command (m³/s)
+	MsgFlapCmd                        // CO₂flap open/close command
+	MsgPumpCmd                        // pump voltage command (V)
+)
+
+var msgTypeNames = map[MsgType]string{
+	MsgTemperature: "temperature",
+	MsgHumidity:    "humidity",
+	MsgCO2:         "co2",
+	MsgPanelDew:    "panel-dew",
+	MsgWaterTemp:   "water-temp",
+	MsgWaterFlow:   "water-flow",
+	MsgSupplyTemp:  "supply-temp",
+	MsgAirboxDew:   "airbox-dew",
+	MsgDewTarget:   "dew-target",
+	MsgFanSpeed:    "fan-speed",
+	MsgFlapCmd:     "flap-cmd",
+	MsgPumpCmd:     "pump-cmd",
+}
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	if s, ok := msgTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("msgtype(%d)", int(t))
+}
+
+// NodeID identifies a mote.
+type NodeID string
+
+// PowerClass distinguishes the paper's ac-devices from bt-devices.
+type PowerClass int
+
+// Power classes.
+const (
+	PowerAC PowerClass = iota + 1
+	PowerBattery
+)
+
+// String implements fmt.Stringer.
+func (p PowerClass) String() string {
+	switch p {
+	case PowerAC:
+		return "ac"
+	case PowerBattery:
+		return "battery"
+	default:
+		return fmt.Sprintf("powerclass(%d)", int(p))
+	}
+}
+
+// Message is one broadcast data packet.
+type Message struct {
+	// Type is the data type consumers filter on.
+	Type MsgType
+	// Source is the transmitting node.
+	Source NodeID
+	// Zone is the subspace the data concerns, or -1 when not zonal.
+	Zone int
+	// Seq is the per-node sequence number.
+	Seq uint32
+	// Value is the sensor reading or command payload.
+	Value float64
+}

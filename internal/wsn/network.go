@@ -1,0 +1,288 @@
+package wsn
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"bubblezero/internal/energy"
+	"bubblezero/internal/sim"
+)
+
+// Config parameterises the radio medium.
+type Config struct {
+	// AirtimeS is the channel occupancy per frame: a maximum-length
+	// 802.15.4 frame (133 bytes incl. PHY overhead) at 250 kbps is
+	// ≈4.3 ms.
+	AirtimeS float64
+	// CCABlindS is the carrier-sense blind window: two senders starting
+	// within it cannot hear each other and collide.
+	CCABlindS float64
+	// LossFloor is the independent per-packet loss probability from
+	// non-collision causes (fading, interference).
+	LossFloor float64
+	// Desync staggers AC-device transmission offsets into deterministic
+	// slots instead of random offsets — the paper's adaptive schedule for
+	// ac-devices. Toggleable for the ablation benchmark.
+	Desync bool
+}
+
+// DefaultConfig returns the BubbleZERO radio parameterisation.
+func DefaultConfig() Config {
+	return Config{
+		AirtimeS:  0.0043,
+		CCABlindS: 0.0005,
+		LossFloor: 0.005,
+		Desync:    true,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.AirtimeS <= 0:
+		return fmt.Errorf("wsn: AirtimeS must be > 0, got %v", c.AirtimeS)
+	case c.CCABlindS < 0 || c.CCABlindS > c.AirtimeS:
+		return fmt.Errorf("wsn: CCABlindS must be in [0, AirtimeS], got %v", c.CCABlindS)
+	case c.LossFloor < 0 || c.LossFloor >= 1:
+		return fmt.Errorf("wsn: LossFloor must be in [0, 1), got %v", c.LossFloor)
+	}
+	return nil
+}
+
+// Node is one mote on the network.
+type Node struct {
+	id      NodeID
+	class   PowerClass
+	battery *energy.Battery // nil for AC nodes
+	seq     uint32
+	acSlot  int // desync slot index for AC nodes
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// Class returns the node power class.
+func (n *Node) Class() PowerClass { return n.class }
+
+// Battery returns the node battery (nil for AC nodes).
+func (n *Node) Battery() *energy.Battery { return n.battery }
+
+// Stats aggregates medium-level counters.
+type Stats struct {
+	Sent        int
+	Delivered   int
+	Collided    int
+	LostRandom  int
+	TotalDelayS float64
+}
+
+// DeliveryRate returns the fraction of sent packets delivered.
+func (s Stats) DeliveryRate() float64 {
+	if s.Sent == 0 {
+		return 0
+	}
+	return float64(s.Delivered) / float64(s.Sent)
+}
+
+// AvgDelayS returns the mean channel-access delay of delivered packets.
+func (s Stats) AvgDelayS() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return s.TotalDelayS / float64(s.Delivered)
+}
+
+type pendingTx struct {
+	msg    Message
+	node   *Node
+	offset float64 // intended start offset within the tick
+}
+
+type subscription struct {
+	types map[MsgType]bool
+	fn    func(Message)
+}
+
+// Network is the shared broadcast medium plus the node registry. It
+// implements sim.Component; devices enqueue broadcasts during their own
+// Step (scheduled before the network), and the network resolves contention
+// and invokes subscriber callbacks during its Step.
+type Network struct {
+	cfg     Config
+	rng     *rand.Rand
+	nodes   map[NodeID]*Node
+	acCount int
+	pending []pendingTx
+	subs    []subscription
+	stats   Stats
+
+	// sniffer callbacks observe every delivered message (the paper's
+	// TelosB sniffer nodes that log all network packets).
+	sniffers []func(Message)
+}
+
+var _ sim.Component = (*Network)(nil)
+
+// NewNetwork builds a network over the given deterministic RNG.
+func NewNetwork(cfg Config, rng *rand.Rand) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("wsn: rng must not be nil")
+	}
+	return &Network{
+		cfg:   cfg,
+		rng:   rng,
+		nodes: make(map[NodeID]*Node),
+	}, nil
+}
+
+// Name implements sim.Component.
+func (n *Network) Name() string { return "wsn.network" }
+
+// Config returns the medium configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// AddNode registers a mote. Battery nodes get a fresh two-AA battery.
+func (n *Network) AddNode(id NodeID, class PowerClass) (*Node, error) {
+	if _, exists := n.nodes[id]; exists {
+		return nil, fmt.Errorf("wsn: duplicate node %q", id)
+	}
+	node := &Node{id: id, class: class}
+	if class == PowerBattery {
+		node.battery = energy.NewTwoAA()
+	} else {
+		node.acSlot = n.acCount
+		n.acCount++
+	}
+	n.nodes[id] = node
+	return node, nil
+}
+
+// NodeCount returns the number of registered nodes.
+func (n *Network) NodeCount() int { return len(n.nodes) }
+
+// Subscribe registers a consumer callback for the given message types.
+// This is the paper's consumer-side filtering: "All potential consumers
+// fetch data messages from the wireless channel and filter out messages
+// with undesired types."
+func (n *Network) Subscribe(fn func(Message), types ...MsgType) {
+	set := make(map[MsgType]bool, len(types))
+	for _, t := range types {
+		set[t] = true
+	}
+	n.subs = append(n.subs, subscription{types: set, fn: fn})
+}
+
+// AddSniffer registers a callback observing every delivered message.
+func (n *Network) AddSniffer(fn func(Message)) {
+	n.sniffers = append(n.sniffers, fn)
+}
+
+// Broadcast enqueues a message from the node for transmission during the
+// current tick. The per-packet transmission energy is drained from
+// battery nodes immediately; a depleted battery cannot transmit.
+func (n *Network) Broadcast(node *Node, msg Message) error {
+	if node == nil {
+		return fmt.Errorf("wsn: broadcast from nil node")
+	}
+	if _, ok := n.nodes[node.id]; !ok {
+		return fmt.Errorf("wsn: broadcast from unregistered node %q", node.id)
+	}
+	if node.battery != nil {
+		if node.battery.Depleted() {
+			return fmt.Errorf("wsn: node %q battery depleted", node.id)
+		}
+		node.battery.Drain(energy.TxEnergyPerPacketJ)
+	}
+	node.seq++
+	msg.Source = node.id
+	msg.Seq = node.seq
+	n.pending = append(n.pending, pendingTx{msg: msg, node: node})
+	return nil
+}
+
+// Stats returns the cumulative medium statistics.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Step implements sim.Component: assigns channel-access offsets, resolves
+// CSMA deferral and CCA-blind collisions, and delivers surviving packets
+// to subscribers and sniffers.
+func (n *Network) Step(env *sim.Env) {
+	if len(n.pending) == 0 {
+		return
+	}
+	tick := env.Dt()
+
+	// Offset assignment: AC nodes use staggered deterministic slots when
+	// desync is on; everything else picks a uniform random offset (the
+	// CSMA backoff draw).
+	for i := range n.pending {
+		tx := &n.pending[i]
+		if n.cfg.Desync && tx.node.class == PowerAC && n.acCount > 0 {
+			slotWidth := tick / float64(n.acCount)
+			jitter := n.rng.Float64() * n.cfg.AirtimeS * 0.1
+			tx.offset = float64(tx.node.acSlot)*slotWidth + jitter
+		} else {
+			tx.offset = n.rng.Float64() * tick
+		}
+	}
+	sort.Slice(n.pending, func(i, j int) bool {
+		return n.pending[i].offset < n.pending[j].offset
+	})
+
+	// CSMA deferral pass: a sender that finds the channel busy waits for
+	// the tail of the ongoing frame plus a short random backoff — but only
+	// if the ongoing frame started at least CCABlindS earlier; a frame
+	// younger than the carrier-sense blind window is invisible, so the
+	// sender transmits anyway and the collision pass below corrupts both.
+	starts := make([]float64, len(n.pending))
+	busyUntil := -1.0
+	lastStart := -1.0
+	for i, tx := range n.pending {
+		start := tx.offset
+		if start < busyUntil && start-lastStart >= n.cfg.CCABlindS {
+			start = busyUntil + n.rng.Float64()*0.002
+		}
+		starts[i] = start
+		if end := start + n.cfg.AirtimeS; end > busyUntil {
+			busyUntil = end
+		}
+		lastStart = start
+	}
+
+	// Collision pass: consecutive starts within the CCA blind window
+	// corrupt each other.
+	collided := make([]bool, len(n.pending))
+	for i := 1; i < len(starts); i++ {
+		if starts[i]-starts[i-1] < n.cfg.CCABlindS {
+			collided[i] = true
+			collided[i-1] = true
+		}
+	}
+
+	for i, tx := range n.pending {
+		n.stats.Sent++
+		if collided[i] {
+			n.stats.Collided++
+			continue
+		}
+		if n.cfg.LossFloor > 0 && n.rng.Float64() < n.cfg.LossFloor {
+			n.stats.LostRandom++
+			continue
+		}
+		n.stats.Delivered++
+		n.stats.TotalDelayS += starts[i] - tx.offset + n.cfg.AirtimeS
+		for _, s := range n.subs {
+			if s.types[tx.msg.Type] {
+				s.fn(tx.msg)
+			}
+		}
+		for _, sn := range n.sniffers {
+			sn(tx.msg)
+		}
+	}
+	n.pending = n.pending[:0]
+}
