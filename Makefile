@@ -1,0 +1,34 @@
+# Development entry points. `make ci` is what a checkin must pass:
+# vet + race-enabled tests + a one-iteration benchmark smoke so the
+# benchmark code itself cannot rot.
+
+GO ?= go
+
+.PHONY: all build test vet race bench-smoke bench-baseline ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Every benchmark once — correctness of the benchmark harness, not timing.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Record the benchmark baseline consumed by the performance trajectory.
+# Full `go test -bench . -benchmem` output, converted to JSON.
+bench-baseline:
+	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' ./... \
+		| tee /dev/stderr | sh scripts/bench_json.sh > BENCH_parallel_runner.json
+
+ci: vet race bench-smoke
+	@echo ci: OK

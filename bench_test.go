@@ -2,7 +2,9 @@ package bubblezero_test
 
 import (
 	"context"
+	"io"
 	"math/rand/v2"
+	"runtime"
 	"testing"
 	"time"
 
@@ -11,11 +13,16 @@ import (
 	"bubblezero/internal/experiments"
 	"bubblezero/internal/multihop"
 	"bubblezero/internal/psychro"
+	"bubblezero/internal/report"
 )
 
 // benchHorizon keeps the networking-scenario benchmarks snappy; the
 // cmd/experiments binary runs the full five-hour trials.
 const benchHorizon = 2 * time.Hour
+
+// Figure benchmarks run against a fresh suite so no scenario cached by an
+// earlier benchmark can turn a measured simulation into a cache hit; the
+// varying per-iteration seed keeps iterations honest within a benchmark.
 
 // BenchmarkFig10Overall regenerates Figure 10: the 105-minute two-phase
 // control trial with both door disturbances. Reported metrics are the
@@ -53,8 +60,9 @@ func BenchmarkFig11COP(b *testing.B) {
 // and modelled MSP430 CPU time versus histogram size N (paper: ≈98 %
 // accuracy for large N, 130 B and ≈1.6 s at N = 60, default N = 40).
 func BenchmarkFig12HistogramN(b *testing.B) {
+	suite := experiments.NewSuite(0)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig12(context.Background(), uint64(i+1), benchHorizon,
+		r, err := suite.Fig12(context.Background(), uint64(i+1), benchHorizon,
 			[]int{5, 20, 40, 60})
 		if err != nil {
 			b.Fatal(err)
@@ -74,8 +82,9 @@ func BenchmarkFig12HistogramN(b *testing.B) {
 // BenchmarkFig13AccuracyOverTime regenerates Figure 13: the rolling
 // decision accuracy trajectory (paper: starts ≈87 %, stabilises 97–99 %).
 func BenchmarkFig13AccuracyOverTime(b *testing.B) {
+	suite := experiments.NewSuite(0)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig13(context.Background(), uint64(i+1), benchHorizon)
+		r, err := suite.Fig13(context.Background(), uint64(i+1), benchHorizon)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -89,8 +98,9 @@ func BenchmarkFig13AccuracyOverTime(b *testing.B) {
 // adaptation across door events (paper: 64 s plateau, detection delay max
 // 4 s / mean 2.7 s).
 func BenchmarkFig14TsndAdaptation(b *testing.B) {
+	suite := experiments.NewSuite(0)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig14(context.Background(), uint64(i+1), benchHorizon)
+		r, err := suite.Fig14(context.Background(), uint64(i+1), benchHorizon)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,8 +113,9 @@ func BenchmarkFig14TsndAdaptation(b *testing.B) {
 // BenchmarkFig15TsndCDF regenerates Figure 15: the T_snd distribution and
 // the battery-lifetime comparison (paper: mean ≈48 s; 3.2 y vs 0.7 y).
 func BenchmarkFig15TsndCDF(b *testing.B) {
+	suite := experiments.NewSuite(0)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig15(context.Background(), uint64(i+1), benchHorizon)
+		r, err := suite.Fig15(context.Background(), uint64(i+1), benchHorizon)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -238,4 +249,70 @@ func BenchmarkExergyAudit(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkReportGenerate measures the full evaluation pipeline — every
+// figure, the exergy audit, and the ablations — through the parallel
+// suite with a cold scenario cache each iteration. This is the end-to-end
+// number the runner and the scenario memoization exist to improve.
+func BenchmarkReportGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		suite := experiments.NewSuite(0)
+		if err := report.GenerateWith(context.Background(), suite, uint64(i+1), 1, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigAllSerialVsParallel pins the two wins separately visible in
+// the trajectory: "serial" reproduces the pre-runner shape (each of
+// Figures 12–15 re-simulates its own scenario, sequentially), "parallel"
+// is the suite path (one memoized simulation, figures fanned across the
+// pool). The ratio is the -fig all wall-clock improvement.
+func BenchmarkFigAllSerialVsParallel(b *testing.B) {
+	ctx := context.Background()
+	const horizon = time.Hour
+	ns := []int{5, 40}
+
+	b.Run("serial", func(b *testing.B) {
+		// Four sequential scenario simulations, one per figure — the Fig12
+		// arm uses a throwaway width-1 suite so it still simulates its own.
+		for i := 0; i < b.N; i++ {
+			seed := uint64(i + 1)
+			if _, err := experiments.NewSuite(1).Fig12(ctx, seed, horizon, ns); err != nil {
+				b.Fatal(err)
+			}
+			for fig := 0; fig < 3; fig++ {
+				sc, err := experiments.RunNetScenario(ctx, seed, horizon)
+				if err != nil {
+					b.Fatal(err)
+				}
+				switch fig {
+				case 0:
+					_ = experiments.Fig13FromScenario(sc)
+				case 1:
+					_ = experiments.Fig14FromScenario(sc)
+				case 2:
+					if _, err := experiments.Fig15FromScenario(ctx, sc, seed); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seed := uint64(i + 1)
+			suite := experiments.NewSuite(runtime.NumCPU())
+			err := suite.Pool().Run(ctx,
+				func(ctx context.Context) error { _, err := suite.Fig12(ctx, seed, horizon, ns); return err },
+				func(ctx context.Context) error { _, err := suite.Fig13(ctx, seed, horizon); return err },
+				func(ctx context.Context) error { _, err := suite.Fig14(ctx, seed, horizon); return err },
+				func(ctx context.Context) error { _, err := suite.Fig15(ctx, seed, horizon); return err },
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

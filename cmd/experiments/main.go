@@ -4,6 +4,12 @@
 //
 //	experiments -fig 10 -csv fig10.csv
 //	experiments -fig all -hours 5
+//	experiments -fig all -parallel 4 -cpuprofile cpu.out
+//
+// Independent experiments fan out across a bounded worker pool (-parallel
+// controls the width; 0 means NumCPU), and Figures 12–15 share a single
+// memoized scenario simulation. -cpuprofile / -memprofile capture pprof
+// profiles of the run for tuning the runner.
 package main
 
 import (
@@ -13,10 +19,13 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"bubblezero/internal/experiments"
 	"bubblezero/internal/report"
+	"bubblezero/internal/runner"
 )
 
 func main() {
@@ -28,26 +37,55 @@ func main() {
 
 func run() error {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, 14, 15, exergy, ablations, all")
-		seed   = flag.Uint64("seed", 1, "simulation seed")
-		hours  = flag.Float64("hours", 5, "networking-scenario length in simulated hours (figs 12-15)")
-		csv    = flag.String("csv", "", "write the figure's underlying series as CSV to this file")
-		mdPath = flag.String("report", "", "write the full evaluation as a markdown report to this file")
+		fig        = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, 14, 15, exergy, ablations, all")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		hours      = flag.Float64("hours", 5, "networking-scenario length in simulated hours (figs 12-15)")
+		csv        = flag.String("csv", "", "write the figure's underlying series as CSV to this file")
+		mdPath     = flag.String("report", "", "write the full evaluation as a markdown report to this file")
+		parallel   = flag.Int("parallel", 0, "worker count for independent experiments (0 = NumCPU)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the retained-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
+	}
+
+	suite := experiments.NewSuite(*parallel)
 	d := time.Duration(*hours * float64(time.Hour))
-	all := *fig == "all"
 
 	if *mdPath != "" {
 		f, err := os.Create(*mdPath)
 		if err != nil {
 			return err
 		}
-		if err := report.Generate(ctx, *seed, *hours, f); err != nil {
+		if err := report.GenerateWith(ctx, suite, *seed, *hours, f); err != nil {
 			f.Close()
 			return fmt.Errorf("report: %w", err)
 		}
@@ -58,82 +96,118 @@ func run() error {
 		return nil
 	}
 
-	if all || *fig == "10" {
-		r, err := experiments.Fig10(ctx, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Println(r.Summary())
-		if *csv != "" && *fig == "10" {
-			if err := writeCSV(*csv, r.WriteTable); err != nil {
-				return err
+	// Each figure renders to its own slot; with -fig all the jobs fan out
+	// across the pool and print in the fixed figure order once all are
+	// done. Figures 12–15 share one scenario simulation via the suite.
+	type sectionFn func(ctx context.Context) (string, error)
+	sections := []struct {
+		name string
+		fn   sectionFn
+	}{
+		{"10", func(ctx context.Context) (string, error) {
+			r, err := experiments.Fig10(ctx, *seed)
+			if err != nil {
+				return "", err
 			}
-		}
+			if *csv != "" && *fig == "10" {
+				if err := writeCSV(*csv, r.WriteTable); err != nil {
+					return "", err
+				}
+			}
+			return r.Summary() + "\n", nil
+		}},
+		{"11", func(ctx context.Context) (string, error) {
+			r, err := experiments.Fig11(ctx, *seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Summary() + "\n" + fmt.Sprintf(
+				"  radiant %.1f W removed / %.1f W consumed (paper 964.8/213.4); "+
+					"vent %.1f W / %.1f W (paper 213.2/75.6)\n",
+				r.RadiantRemovedW, r.RadiantConsumedW, r.VentRemovedW, r.VentConsumedW), nil
+		}},
+		{"12", func(ctx context.Context) (string, error) {
+			r, err := suite.Fig12(ctx, *seed, d, nil)
+			if err != nil {
+				return "", err
+			}
+			return r.Summary(), nil
+		}},
+		{"13", func(ctx context.Context) (string, error) {
+			r, err := suite.Fig13(ctx, *seed, d)
+			if err != nil {
+				return "", err
+			}
+			return r.Summary() + "\n", nil
+		}},
+		{"14", func(ctx context.Context) (string, error) {
+			r, err := suite.Fig14(ctx, *seed, d)
+			if err != nil {
+				return "", err
+			}
+			return r.Summary() + "\n", nil
+		}},
+		{"15", func(ctx context.Context) (string, error) {
+			r, err := suite.Fig15(ctx, *seed, d)
+			if err != nil {
+				return "", err
+			}
+			return r.Summary() + "\n", nil
+		}},
+		{"exergy", func(ctx context.Context) (string, error) {
+			r, err := experiments.ExergyAudit(ctx, *seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Summary(), nil
+		}},
+		{"ablations", func(ctx context.Context) (string, error) {
+			pts, err := suite.AblationSupplyTemp(ctx, *seed, nil)
+			if err != nil {
+				return "", err
+			}
+			nc, err := suite.AblationNoCoupling(ctx, *seed)
+			if err != nil {
+				return "", err
+			}
+			ds, err := suite.AblationDesync(ctx, *seed, 30*time.Minute)
+			if err != nil {
+				return "", err
+			}
+			return experiments.SummarizeSupplyTemp(pts) + fmt.Sprintf(
+				"Ablation: condensation guarded %.0f s vs unguarded %.0f s\n"+
+					"Ablation: desync collisions %d (delivery %.4f) vs random %d (delivery %.4f)\n",
+				nc.GuardedCondensationS, nc.UnguardedCondensationS,
+				ds.WithDesync.Collided, ds.WithDesync.DeliveryRate(),
+				ds.WithoutDesync.Collided, ds.WithoutDesync.DeliveryRate()), nil
+		}},
 	}
-	if all || *fig == "11" {
-		r, err := experiments.Fig11(ctx, *seed)
-		if err != nil {
-			return err
+
+	all := *fig == "all"
+	outputs := make([]string, len(sections))
+	jobs := make([]runner.Job, 0, len(sections))
+	for i, s := range sections {
+		if !all && *fig != s.name {
+			continue
 		}
-		fmt.Println(r.Summary())
-		fmt.Printf("  radiant %.1f W removed / %.1f W consumed (paper 964.8/213.4); "+
-			"vent %.1f W / %.1f W (paper 213.2/75.6)\n",
-			r.RadiantRemovedW, r.RadiantConsumedW, r.VentRemovedW, r.VentConsumedW)
+		i, s := i, s
+		jobs = append(jobs, func(ctx context.Context) error {
+			out, err := s.fn(ctx)
+			if err != nil {
+				return fmt.Errorf("fig %s: %w", s.name, err)
+			}
+			outputs[i] = out
+			return nil
+		})
 	}
-	if all || *fig == "12" {
-		r, err := experiments.Fig12(ctx, *seed, d, nil)
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Summary())
+	if len(jobs) == 0 {
+		return fmt.Errorf("unknown -fig %q", *fig)
 	}
-	if all || *fig == "13" {
-		r, err := experiments.Fig13(ctx, *seed, d)
-		if err != nil {
-			return err
-		}
-		fmt.Println(r.Summary())
+	if err := suite.Pool().Run(ctx, jobs...); err != nil {
+		return err
 	}
-	if all || *fig == "14" {
-		r, err := experiments.Fig14(ctx, *seed, d)
-		if err != nil {
-			return err
-		}
-		fmt.Println(r.Summary())
-	}
-	if all || *fig == "15" {
-		r, err := experiments.Fig15(ctx, *seed, d)
-		if err != nil {
-			return err
-		}
-		fmt.Println(r.Summary())
-	}
-	if all || *fig == "exergy" {
-		r, err := experiments.ExergyAudit(ctx, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Summary())
-	}
-	if all || *fig == "ablations" {
-		pts, err := experiments.AblationSupplyTemp(ctx, *seed, nil)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.SummarizeSupplyTemp(pts))
-		nc, err := experiments.AblationNoCoupling(ctx, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("Ablation: condensation guarded %.0f s vs unguarded %.0f s\n",
-			nc.GuardedCondensationS, nc.UnguardedCondensationS)
-		ds, err := experiments.AblationDesync(ctx, *seed, 30*time.Minute)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("Ablation: desync collisions %d (delivery %.4f) vs random %d (delivery %.4f)\n",
-			ds.WithDesync.Collided, ds.WithDesync.DeliveryRate(),
-			ds.WithoutDesync.Collided, ds.WithoutDesync.DeliveryRate())
+	for _, out := range outputs {
+		fmt.Print(out)
 	}
 	return nil
 }

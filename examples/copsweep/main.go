@@ -4,6 +4,10 @@
 // steady-state runs. Warmer water means less temperature lift and less
 // work per joule moved; 18 °C is the sweet spot where the panels can still
 // carry the room's load.
+//
+// The per-temperature runs are independent, so they fan out across a
+// runner.Pool; each row is written into its own slot and printed in sweep
+// order, identical at any worker count.
 package main
 
 import (
@@ -14,34 +18,47 @@ import (
 
 	"bubblezero/internal/core"
 	"bubblezero/internal/exergy"
+	"bubblezero/internal/runner"
 )
 
 func main() {
 	ctx := context.Background()
 	chiller := exergy.DefaultChiller()
 	outdoor := 28.9
+	temps := []float64{8, 12, 15, 18, 21}
 
-	fmt.Println("Tsupp(°C)  exergy/kW(W)  chillerCOP  systemCOP  holds 25°C")
-	for _, tc := range []float64{8, 12, 15, 18, 21} {
+	rows := make([]string, len(temps))
+	pool := runner.NewPool(0)
+	err := pool.ForEach(ctx, len(temps), func(ctx context.Context, i int) error {
+		tc := temps[i]
 		cfg := core.DefaultConfig()
 		cfg.RadiantSetpointC = tc
 		sys, err := core.NewSystem(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := sys.Run(ctx, time.Hour); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		sys.ResetCOP()
 		if err := sys.Run(ctx, time.Hour); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		// Exergy embedded in moving 1 kW at this working temperature
 		// against the outdoor reference (Ex = Q(1 − T/T₀), §II).
 		ex := exergy.OfHeatFlux(1000, tc, outdoor)
 		holds := sys.Room().AverageT() < 25.6
-		fmt.Printf("%8.0f  %12.1f  %10.2f  %9.2f  %v\n",
+		rows[i] = fmt.Sprintf("%8.0f  %12.1f  %10.2f  %9.2f  %v",
 			tc, ex, chiller.COP(tc, outdoor), sys.COPTotal().Value(), holds)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Tsupp(°C)  exergy/kW(W)  chillerCOP  systemCOP  holds 25°C")
+	for _, row := range rows {
+		fmt.Println(row)
 	}
 	fmt.Println("\nthe paper's choice of 18 °C water maximises system COP while preserving capacity")
 }

@@ -35,12 +35,49 @@ type System struct {
 	devices      []*wsn.SensorDevice
 	broadcasters []*wsn.PeriodicBroadcaster
 	rec          *trace.Recorder
+	ts           traceSeries
 
 	copRadiant energy.COP
 	copVent    energy.COP
 
 	condensationS float64 // cumulative seconds any panel surface was wet
 	sinceTrace    float64
+}
+
+// traceSeries holds the recorder handles for every series the glue traces,
+// opened once at construction so the per-tick recording path performs no
+// name formatting and no map lookups (and therefore no allocations).
+type traceSeries struct {
+	zoneTemp [thermal.NumZones]*trace.Series
+	zoneDew  [thermal.NumZones]*trace.Series
+	zoneCO2  [thermal.NumZones]*trace.Series
+
+	outdoorTemp, outdoorDew *trace.Series
+	avgTemp, avgDew         *trace.Series
+	tankRadiant, tankVent   *trace.Series
+
+	copTotal, copRadiant, copVent *trace.Series
+}
+
+// openTraceSeries opens every traced series on rec. The order matches the
+// historical first-record order so Recorder.Names() stays stable.
+func openTraceSeries(rec *trace.Recorder) traceSeries {
+	var ts traceSeries
+	for z := 0; z < thermal.NumZones; z++ {
+		ts.zoneTemp[z] = rec.Open(fmt.Sprintf("temp.subsp%d", z+1))
+		ts.zoneDew[z] = rec.Open(fmt.Sprintf("dew.subsp%d", z+1))
+		ts.zoneCO2[z] = rec.Open(fmt.Sprintf("co2.subsp%d", z+1))
+	}
+	ts.outdoorTemp = rec.Open("temp.outdoor")
+	ts.outdoorDew = rec.Open("dew.outdoor")
+	ts.avgTemp = rec.Open("temp.avg")
+	ts.avgDew = rec.Open("dew.avg")
+	ts.tankRadiant = rec.Open("tank.radiant")
+	ts.tankVent = rec.Open("tank.vent")
+	ts.copTotal = rec.Open("cop.total")
+	ts.copRadiant = rec.Open("cop.radiant")
+	ts.copVent = rec.Open("cop.vent")
+	return ts
 }
 
 // NewSystem assembles and wires the full deployment.
@@ -113,6 +150,9 @@ func NewSystem(cfg Config) (*System, error) {
 		radiantMod:  radiantMod,
 		ventMod:     ventMod,
 		rec:         trace.NewRecorder(),
+	}
+	if cfg.TracePeriod > 0 {
+		s.ts = openTraceSeries(s.rec)
 	}
 
 	if err := s.buildTopology(); err != nil {
@@ -359,30 +399,32 @@ func (s *System) glue(env *sim.Env) {
 		s.sinceTrace += dt
 		if s.sinceTrace >= s.cfg.TracePeriod.Seconds() {
 			s.sinceTrace = 0
-			s.recordTrace(env)
+			s.recordTrace(env.Now())
 		}
 	}
 }
 
-func (s *System) recordTrace(env *sim.Env) {
-	now := env.Now()
+// recordTrace appends one sample to every traced series through the
+// handles opened at construction. The path is allocation-free per tick
+// apart from amortized slice growth inside Series.Append.
+func (s *System) recordTrace(now time.Time) {
 	for z := 0; z < thermal.NumZones; z++ {
 		zone := s.room.Zone(thermal.ZoneID(z))
-		_ = s.rec.Record(fmt.Sprintf("temp.subsp%d", z+1), now, zone.T)
-		_ = s.rec.Record(fmt.Sprintf("dew.subsp%d", z+1), now, zone.DewPoint())
-		_ = s.rec.Record(fmt.Sprintf("co2.subsp%d", z+1), now, zone.CO2PPM)
+		_ = s.ts.zoneTemp[z].Append(now, zone.T)
+		_ = s.ts.zoneDew[z].Append(now, zone.DewPoint())
+		_ = s.ts.zoneCO2[z].Append(now, zone.CO2PPM)
 	}
-	_ = s.rec.Record("temp.outdoor", now, s.room.Outdoor().T)
-	_ = s.rec.Record("dew.outdoor", now, s.room.Outdoor().DewPoint())
-	_ = s.rec.Record("temp.avg", now, s.room.AverageT())
-	_ = s.rec.Record("dew.avg", now, s.room.AverageDewPoint())
-	_ = s.rec.Record("tank.radiant", now, s.radiantTank.Temp())
-	_ = s.rec.Record("tank.vent", now, s.ventTank.Temp())
-	_ = s.rec.Record("cop.total", now, s.COPTotal().Value())
+	_ = s.ts.outdoorTemp.Append(now, s.room.Outdoor().T)
+	_ = s.ts.outdoorDew.Append(now, s.room.Outdoor().DewPoint())
+	_ = s.ts.avgTemp.Append(now, s.room.AverageT())
+	_ = s.ts.avgDew.Append(now, s.room.AverageDewPoint())
+	_ = s.ts.tankRadiant.Append(now, s.radiantTank.Temp())
+	_ = s.ts.tankVent.Append(now, s.ventTank.Temp())
+	_ = s.ts.copTotal.Append(now, s.COPTotal().Value())
 	if v := s.copRadiant.Value(); !math.IsNaN(v) {
-		_ = s.rec.Record("cop.radiant", now, v)
+		_ = s.ts.copRadiant.Append(now, v)
 	}
 	if v := s.copVent.Value(); !math.IsNaN(v) {
-		_ = s.rec.Record("cop.vent", now, v)
+		_ = s.ts.copVent.Append(now, v)
 	}
 }

@@ -28,36 +28,36 @@ type SupplyTempPoint struct {
 // AblationSupplyTemp sweeps the radiant supply-water temperature,
 // demonstrating the paper's central design argument: warmer water means
 // less lift, less exergy, and higher COP — until the panels can no longer
-// move enough heat.
+// move enough heat. The per-temperature runs fan out across the Default
+// suite's pool.
 func AblationSupplyTemp(ctx context.Context, seed uint64, temps []float64) ([]SupplyTempPoint, error) {
-	if len(temps) == 0 {
-		temps = []float64{10, 14, 18, 21}
+	return Default.AblationSupplyTemp(ctx, seed, temps)
+}
+
+// supplyTempPoint runs one steady-state trial of the supply-temperature
+// sweep. Each call builds its own system (and RNG streams), so points are
+// independent and safe to compute concurrently.
+func supplyTempPoint(ctx context.Context, seed uint64, tc float64) (SupplyTempPoint, error) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.RadiantSetpointC = tc
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return SupplyTempPoint{}, err
 	}
-	chiller := exergy.DefaultChiller()
-	out := make([]SupplyTempPoint, 0, len(temps))
-	for _, tc := range temps {
-		cfg := core.DefaultConfig()
-		cfg.Seed = seed
-		cfg.RadiantSetpointC = tc
-		sys, err := core.NewSystem(cfg)
-		if err != nil {
-			return nil, err
-		}
-		if err := sys.Run(ctx, time.Hour); err != nil {
-			return nil, err
-		}
-		sys.ResetCOP()
-		if err := sys.Run(ctx, time.Hour); err != nil {
-			return nil, err
-		}
-		out = append(out, SupplyTempPoint{
-			TSupplyC:      tc,
-			ChillerCOP:    chiller.COP(tc, cfg.Thermal.Outdoor.T),
-			SystemCOP:     sys.COPTotal().Value(),
-			ReachedTarget: sys.Room().AverageT() < 25.6,
-		})
+	if err := sys.Run(ctx, time.Hour); err != nil {
+		return SupplyTempPoint{}, err
 	}
-	return out, nil
+	sys.ResetCOP()
+	if err := sys.Run(ctx, time.Hour); err != nil {
+		return SupplyTempPoint{}, err
+	}
+	return SupplyTempPoint{
+		TSupplyC:      tc,
+		ChillerCOP:    exergy.DefaultChiller().COP(tc, cfg.Thermal.Outdoor.T),
+		SystemCOP:     sys.COPTotal().Value(),
+		ReachedTarget: sys.Room().AverageT() < 25.6,
+	}, nil
 }
 
 // NoCouplingResult is the control-decomposition ablation: running the
@@ -68,34 +68,27 @@ type NoCouplingResult struct {
 }
 
 // AblationNoCoupling runs the system with and without the condensation
-// guard. The decomposed design only works because the modules collaborate;
-// removing the coupling wets the panels within minutes.
+// guard (the two arms concurrently, via the Default suite). The decomposed
+// design only works because the modules collaborate; removing the coupling
+// wets the panels within minutes.
 func AblationNoCoupling(ctx context.Context, seed uint64) (*NoCouplingResult, error) {
-	run := func(ignore bool) (float64, error) {
-		cfg := core.DefaultConfig()
-		cfg.Seed = seed
-		cfg.Radiant.IgnoreDewGuard = ignore
-		sys, err := core.NewSystem(cfg)
-		if err != nil {
-			return 0, err
-		}
-		if err := sys.Run(ctx, 45*time.Minute); err != nil {
-			return 0, err
-		}
-		return sys.CondensationSeconds(), nil
-	}
-	guarded, err := run(false)
+	return Default.AblationNoCoupling(ctx, seed)
+}
+
+// runNoCoupling measures condensation seconds with the dew guard on or
+// off. Each call owns its system, so the two arms run concurrently.
+func runNoCoupling(ctx context.Context, seed uint64, ignore bool) (float64, error) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Radiant.IgnoreDewGuard = ignore
+	sys, err := core.NewSystem(cfg)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	unguarded, err := run(true)
-	if err != nil {
-		return nil, err
+	if err := sys.Run(ctx, 45*time.Minute); err != nil {
+		return 0, err
 	}
-	return &NoCouplingResult{
-		GuardedCondensationS:   guarded,
-		UnguardedCondensationS: unguarded,
-	}, nil
+	return sys.CondensationSeconds(), nil
 }
 
 // DesyncResult compares the AC-device schedule adaptation on and off
@@ -105,32 +98,28 @@ type DesyncResult struct {
 }
 
 // AblationDesync measures collision counts with and without the AC
-// schedule desynchronisation.
+// schedule desynchronisation (the two arms concurrently, via the Default
+// suite).
 func AblationDesync(ctx context.Context, seed uint64, d time.Duration) (*DesyncResult, error) {
-	run := func(desync bool) (wsn.Stats, error) {
-		cfg := core.DefaultConfig()
-		cfg.Seed = seed
-		cfg.TxMode = wsn.ModeFixed // maximum channel pressure
-		cfg.Net.Desync = desync
-		cfg.TracePeriod = 0
-		sys, err := core.NewSystem(cfg)
-		if err != nil {
-			return wsn.Stats{}, err
-		}
-		if err := sys.Run(ctx, d); err != nil {
-			return wsn.Stats{}, err
-		}
-		return sys.Network().Stats(), nil
-	}
-	with, err := run(true)
+	return Default.AblationDesync(ctx, seed, d)
+}
+
+// runDesync measures medium statistics under fixed-mode channel pressure
+// with the AC desynchronisation on or off.
+func runDesync(ctx context.Context, seed uint64, d time.Duration, desync bool) (wsn.Stats, error) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.TxMode = wsn.ModeFixed // maximum channel pressure
+	cfg.Net.Desync = desync
+	cfg.TracePeriod = 0
+	sys, err := core.NewSystem(cfg)
 	if err != nil {
-		return nil, err
+		return wsn.Stats{}, err
 	}
-	without, err := run(false)
-	if err != nil {
-		return nil, err
+	if err := sys.Run(ctx, d); err != nil {
+		return wsn.Stats{}, err
 	}
-	return &DesyncResult{WithDesync: with, WithoutDesync: without}, nil
+	return sys.Network().Stats(), nil
 }
 
 // HistogramResetResult measures the weekly counter-reset policy's effect
@@ -141,50 +130,43 @@ type HistogramResetResult struct {
 }
 
 // AblationHistogramReset replays one device stream with and without a
-// periodic histogram reset. The paper resets U_i weekly "to eliminate
-// approximation errors cumulated in the past week"; over the simulated
-// horizon the effect is small but measurable.
+// periodic histogram reset (via the Default suite's cached scenario). The
+// paper resets U_i weekly "to eliminate approximation errors cumulated in
+// the past week"; over the simulated horizon the effect is small but
+// measurable.
 func AblationHistogramReset(ctx context.Context, seed uint64, d time.Duration, resetEvery time.Duration) (*HistogramResetResult, error) {
-	sc, err := RunNetScenario(ctx, seed, d)
-	if err != nil {
-		return nil, err
-	}
-	replay := func(reset bool) (float64, error) {
-		var sum float64
-		n := 0
-		for id, readings := range sc.Readings {
-			cfg := adaptive.DefaultConfig(sc.TsplS[id])
-			cfg.TrackExact = true
-			sched, err := adaptive.NewScheduler(cfg)
-			if err != nil {
-				return 0, err
-			}
-			samplesPerReset := int(resetEvery.Seconds() / sc.TsplS[id])
-			for i, v := range readings {
-				if reset && samplesPerReset > 0 && i > 0 && i%samplesPerReset == 0 {
-					sched.Histogram().Reset()
-				}
-				sched.OnSample(v)
-			}
-			if frac, decisions := sched.Accuracy(); decisions > 0 {
-				sum += frac
-				n++
-			}
+	return Default.AblationHistogramReset(ctx, seed, d, resetEvery)
+}
+
+// replayHistogramReset scores the recorded streams with or without the
+// periodic reset. It only reads the scenario; devices are visited in
+// sorted order for bit-identical accumulation.
+func replayHistogramReset(sc *NetScenario, resetEvery time.Duration, reset bool) (float64, error) {
+	var sum float64
+	n := 0
+	for _, id := range sortedKeys(sc.Readings) {
+		cfg := adaptive.DefaultConfig(sc.TsplS[id])
+		cfg.TrackExact = true
+		sched, err := adaptive.NewScheduler(cfg)
+		if err != nil {
+			return 0, err
 		}
-		if n == 0 {
-			return 0, fmt.Errorf("experiments: no decisions in reset ablation")
+		samplesPerReset := int(resetEvery.Seconds() / sc.TsplS[id])
+		for i, v := range sc.Readings[id] {
+			if reset && samplesPerReset > 0 && i > 0 && i%samplesPerReset == 0 {
+				sched.Histogram().Reset()
+			}
+			sched.OnSample(v)
 		}
-		return sum / float64(n) * 100, nil
+		if frac, decisions := sched.Accuracy(); decisions > 0 {
+			sum += frac
+			n++
+		}
 	}
-	withReset, err := replay(true)
-	if err != nil {
-		return nil, err
+	if n == 0 {
+		return 0, fmt.Errorf("experiments: no decisions in reset ablation")
 	}
-	withoutReset, err := replay(false)
-	if err != nil {
-		return nil, err
-	}
-	return &HistogramResetResult{WithResetPct: withReset, WithoutResetPct: withoutReset}, nil
+	return sum / float64(n) * 100, nil
 }
 
 // SummarizeSupplyTemp renders the sweep.

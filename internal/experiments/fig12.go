@@ -29,46 +29,39 @@ type Fig12Result struct {
 
 // Fig12 replays the scenario's recorded sensor streams through schedulers
 // of varying histogram size and scores each against the exact-clustering
-// ground truth.
+// ground truth. It runs through the Default suite: the scenario is
+// memoized and the per-N replays execute in parallel.
 func Fig12(ctx context.Context, seed uint64, d time.Duration, ns []int) (*Fig12Result, error) {
-	if len(ns) == 0 {
-		ns = []int{5, 10, 15, 20, 25, 30, 40, 50, 60, 70}
-	}
-	sc, err := RunNetScenario(ctx, seed, d)
+	return Default.Fig12(ctx, seed, d, ns)
+}
+
+// fig12Point scores one histogram size against the recorded streams. It
+// only reads the scenario, so distinct Ns replay concurrently.
+func fig12Point(sc *NetScenario, n int) (Fig12Point, error) {
+	acc, err := replayAccuracy(sc, n)
 	if err != nil {
-		return nil, err
+		return Fig12Point{}, err
 	}
-	res := &Fig12Result{Scenario: sc}
-	for _, n := range ns {
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		default:
-		}
-		acc, err := replayAccuracy(sc, n)
-		if err != nil {
-			return nil, err
-		}
-		hist, err := adaptive.NewHistogram(n)
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, Fig12Point{
-			N:           n,
-			AccuracyPct: acc * 100,
-			RAMBytes:    hist.RAMBytes(),
-			CPUSeconds:  adaptive.CPUSecondsMSP430(n),
-		})
+	hist, err := adaptive.NewHistogram(n)
+	if err != nil {
+		return Fig12Point{}, err
 	}
-	return res, nil
+	return Fig12Point{
+		N:           n,
+		AccuracyPct: acc * 100,
+		RAMBytes:    hist.RAMBytes(),
+		CPUSeconds:  adaptive.CPUSecondsMSP430(n),
+	}, nil
 }
 
 // replayAccuracy feeds every recorded device stream through a fresh
 // scheduler with histogram size n and returns the mean decision accuracy.
+// Devices are visited in sorted order so the accumulated mean is
+// bit-identical across runs and pool widths.
 func replayAccuracy(sc *NetScenario, n int) (float64, error) {
 	var sum float64
 	devices := 0
-	for id, readings := range sc.Readings {
+	for _, id := range sortedKeys(sc.Readings) {
 		cfg := adaptive.DefaultConfig(sc.TsplS[id])
 		cfg.N = n
 		cfg.TrackExact = true
@@ -76,7 +69,7 @@ func replayAccuracy(sc *NetScenario, n int) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		for _, v := range readings {
+		for _, v := range sc.Readings[id] {
 			sched.OnSample(v)
 		}
 		if frac, decisions := sched.Accuracy(); decisions > 0 {

@@ -25,12 +25,15 @@ type Fig13Result struct {
 	FinalAccuracyPct float64
 }
 
-// Fig13 runs the event workload and extracts the accuracy trajectory.
+// Fig13 runs (or reuses, via the Default suite's scenario cache) the
+// event workload and extracts the accuracy trajectory.
 func Fig13(ctx context.Context, seed uint64, d time.Duration) (*Fig13Result, error) {
-	sc, err := RunNetScenario(ctx, seed, d)
-	if err != nil {
-		return nil, err
-	}
+	return Default.Fig13(ctx, seed, d)
+}
+
+// Fig13FromScenario extracts the Figure 13 trajectory from an
+// already-simulated scenario. It only reads the scenario.
+func Fig13FromScenario(sc *NetScenario) *Fig13Result {
 	res := &Fig13Result{
 		Accuracy:      sc.Accuracy,
 		VarMinStableS: sc.VarMinStableAt.Seconds(),
@@ -39,7 +42,7 @@ func Fig13(ctx context.Context, seed uint64, d time.Duration) (*Fig13Result, err
 	if v, ok := sc.Accuracy.Last(); ok {
 		res.FinalAccuracyPct = v * 100
 	}
-	return res, nil
+	return res
 }
 
 // Summary renders the trajectory endpoints.
@@ -70,13 +73,15 @@ type Fig14Result struct {
 	StableTsndS float64
 }
 
-// Fig14 runs the event workload and extracts one device's adaptation
-// behaviour.
+// Fig14 runs (or reuses, via the Default suite's scenario cache) the
+// event workload and extracts one device's adaptation behaviour.
 func Fig14(ctx context.Context, seed uint64, d time.Duration) (*Fig14Result, error) {
-	sc, err := RunNetScenario(ctx, seed, d)
-	if err != nil {
-		return nil, err
-	}
+	return Default.Fig14(ctx, seed, d)
+}
+
+// Fig14FromScenario extracts the Figure 14 adaptation metrics from an
+// already-simulated scenario. It only reads the scenario.
+func Fig14FromScenario(sc *NetScenario) *Fig14Result {
 	id := DeviceForEvent(true)
 	res := &Fig14Result{
 		Tsnd:        sc.Tsnd[id],
@@ -105,7 +110,7 @@ func Fig14(ctx context.Context, seed uint64, d time.Duration) (*Fig14Result, err
 	if res.Detected > 0 {
 		res.MeanDelayS /= float64(res.Detected)
 	}
-	return res, nil
+	return res
 }
 
 // Summary renders the adaptation metrics.
@@ -130,13 +135,18 @@ type Fig15Result struct {
 	AdaptiveYears, FixedYears float64
 }
 
-// Fig15 runs the adaptive workload, plus a short fixed-mode run to
-// measure the baseline drain rate, and projects battery lifetimes.
+// Fig15 runs (or reuses, via the Default suite's scenario cache) the
+// adaptive workload, plus a short fixed-mode run to measure the baseline
+// drain rate, and projects battery lifetimes.
 func Fig15(ctx context.Context, seed uint64, d time.Duration) (*Fig15Result, error) {
-	sc, err := RunNetScenario(ctx, seed, d)
-	if err != nil {
-		return nil, err
-	}
+	return Default.Fig15(ctx, seed, d)
+}
+
+// Fig15FromScenario extracts the Figure 15 distribution from an
+// already-simulated scenario and runs the short fixed-mode baseline for
+// the lifetime comparison (stationary by construction, so it is cheap and
+// not worth caching).
+func Fig15FromScenario(ctx context.Context, sc *NetScenario, seed uint64) (*Fig15Result, error) {
 	res := &Fig15Result{MeanTsndS: sc.MeanTsndS()}
 	res.CDFXs, res.CDFPs = trace.CDF(sc.AllTsndSamples())
 
@@ -168,13 +178,15 @@ func Fig15(ctx context.Context, seed uint64, d time.Duration) (*Fig15Result, err
 }
 
 // meanLifetimeYears projects the mean battery lifetime from per-device
-// drains over the elapsed run.
+// drains over the elapsed run. Devices are visited in sorted order so the
+// accumulated mean is bit-identical across runs.
 func meanLifetimeYears(drains map[string]float64, elapsed time.Duration) float64 {
 	if len(drains) == 0 {
 		return 0
 	}
 	var sum float64
-	for _, d := range drains {
+	for _, id := range sortedKeys(drains) {
+		d := drains[id]
 		if d <= 0 {
 			continue
 		}

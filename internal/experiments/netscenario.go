@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"bubblezero/internal/core"
@@ -13,6 +14,15 @@ import (
 	"bubblezero/internal/trace"
 	"bubblezero/internal/wsn"
 )
+
+// netScenarioRuns counts actual scenario simulations (not cache hits), so
+// tests can assert the memoization contract: one simulation per
+// (seed, duration) no matter how many figures consume it.
+var netScenarioRuns atomic.Int64
+
+// NetScenarioRunCount returns how many times RunNetScenario has executed
+// in this process. Tests compare deltas around a suite run.
+func NetScenarioRunCount() int64 { return netScenarioRuns.Load() }
 
 // NetScenario is the shared workload behind Figures 12–15: the paper
 // re-launches BubbleZERO for five hours and triggers external events
@@ -55,8 +65,12 @@ type NetScenario struct {
 	NetStats wsn.Stats
 }
 
-// RunNetScenario executes the §V-C workload for the given duration.
+// RunNetScenario executes the §V-C workload for the given duration. Every
+// call simulates from scratch; use Suite.NetScenario for the memoized
+// path shared by Figures 12–15. The returned scenario is immutable once
+// returned and safe to read from concurrent goroutines.
 func RunNetScenario(ctx context.Context, seed uint64, d time.Duration) (*NetScenario, error) {
+	netScenarioRuns.Add(1)
 	cfg := core.DefaultConfig()
 	cfg.Seed = seed
 	cfg.TrackExact = true
@@ -217,12 +231,25 @@ func medianDuration(m map[string]time.Duration) time.Duration {
 	return ds[len(ds)/2]
 }
 
+// sortedKeys returns the map's keys in sorted order. Fleet aggregations
+// iterate devices in this order so floating-point accumulation is
+// bit-identical run to run — Go's randomized map order would otherwise
+// reorder the additions and perturb the last bits.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // AllTsndSamples flattens every device's transmission-period samples —
 // the Figure 15 CDF population.
 func (sc *NetScenario) AllTsndSamples() []float64 {
 	var out []float64
-	for _, s := range sc.Tsnd {
-		for _, p := range s.Points() {
+	for _, id := range sortedKeys(sc.Tsnd) {
+		for _, p := range sc.Tsnd[id].Points() {
 			out = append(out, p.Value)
 		}
 	}
@@ -233,8 +260,8 @@ func (sc *NetScenario) AllTsndSamples() []float64 {
 func (sc *NetScenario) MeanTsndS() float64 {
 	var sum float64
 	n := 0
-	for _, s := range sc.Tsnd {
-		st := s.Stats()
+	for _, id := range sortedKeys(sc.Tsnd) {
+		st := sc.Tsnd[id].Stats()
 		sum += st.Mean * float64(st.N)
 		n += st.N
 	}

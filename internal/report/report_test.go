@@ -2,10 +2,12 @@ package report
 
 import (
 	"context"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
+	"bubblezero/internal/experiments"
 	"bubblezero/internal/trace"
 )
 
@@ -108,9 +110,16 @@ func TestGenerateFullReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full report generation")
 	}
+	suite := experiments.NewSuite(runtime.NumCPU())
+	scenarioRunsBefore := experiments.NetScenarioRunCount()
 	var sb strings.Builder
-	if err := Generate(context.Background(), 1, 1.5, &sb); err != nil {
+	if err := GenerateWith(context.Background(), suite, 1, 1.5, &sb); err != nil {
 		t.Fatal(err)
+	}
+	// Figures 12–15 all consume the networking scenario; the suite must
+	// simulate it exactly once per (seed, duration).
+	if runs := experiments.NetScenarioRunCount() - scenarioRunsBefore; runs != 1 {
+		t.Errorf("report simulated the net scenario %d times, want exactly 1", runs)
 	}
 	out := sb.String()
 	for _, want := range []string{

@@ -103,8 +103,34 @@ func (e *Engine) SetStopCondition(fn func(env *Env) bool) {
 	e.stopFn = fn
 }
 
+// ctxCheckSimTime bounds how much simulated time may elapse between
+// context checks, so cancellation latency is bounded in simulated time
+// regardless of the step size. maxCtxCheckTicks additionally bounds the
+// tick count for coarse steps (a one-minute step would otherwise check
+// every tick anyway; a sub-millisecond step would go tens of thousands of
+// ticks between checks without the cap keeping per-check work bounded).
+const (
+	ctxCheckSimTime  = time.Minute
+	maxCtxCheckTicks = 4096
+)
+
+// ctxCheckEvery returns how many ticks may pass between context checks:
+// at most one simulated minute and at most maxCtxCheckTicks, whichever is
+// fewer ticks, and never less than one.
+func (e *Engine) ctxCheckEvery() uint64 {
+	every := uint64(ctxCheckSimTime / e.clock.Step())
+	if every < 1 {
+		every = 1
+	}
+	if every > maxCtxCheckTicks {
+		every = maxCtxCheckTicks
+	}
+	return every
+}
+
 // RunFor advances the simulation by d of simulated time (rounded down to
-// whole ticks). The context is checked once per simulated minute so that
+// whole ticks). The context is checked at least once per simulated minute
+// (and at least every 4096 ticks, for steps coarser than ~15 ms) so that
 // long runs remain cancellable without a per-tick overhead.
 func (e *Engine) RunFor(ctx context.Context, d time.Duration) error {
 	ticks := uint64(d / e.clock.Step())
@@ -114,7 +140,7 @@ func (e *Engine) RunFor(ctx context.Context, d time.Duration) error {
 // RunTicks advances the simulation by n ticks.
 func (e *Engine) RunTicks(ctx context.Context, n uint64) error {
 	env := &Env{clock: e.clock, rng: e.rng}
-	const ctxCheckEvery = 4096
+	ctxCheckEvery := e.ctxCheckEvery()
 	for i := uint64(0); i < n; i++ {
 		if i%ctxCheckEvery == 0 {
 			select {

@@ -259,3 +259,43 @@ func TestTimelineAllEventsFireProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCtxCheckEveryStepAware(t *testing.T) {
+	cases := []struct {
+		step time.Duration
+		want uint64
+	}{
+		{time.Second, 60},             // one simulated minute
+		{30 * time.Second, 2},         // coarse step, still once a minute
+		{2 * time.Minute, 1},          // step longer than the bound
+		{time.Millisecond, 4096},      // fine step hits the tick cap
+		{15 * time.Millisecond, 4000}, // just under the cap
+	}
+	for _, tc := range cases {
+		e := NewEngine(MustClock(time.Unix(0, 0).UTC(), tc.step), 1)
+		if got := e.ctxCheckEvery(); got != tc.want {
+			t.Errorf("step %v: ctxCheckEvery = %d, want %d", tc.step, got, tc.want)
+		}
+	}
+}
+
+func TestRunForCancellationLatencyBoundedInSimTime(t *testing.T) {
+	// With a coarse 30 s step, cancellation must be noticed within a
+	// simulated minute (2 ticks), not 4096 ticks.
+	e := NewEngine(MustClock(time.Unix(0, 0).UTC(), 30*time.Second), 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	ticks := 0
+	e.Add(ComponentFunc{ID: "counter", Fn: func(*Env) {
+		ticks++
+		if ticks == 1 {
+			cancel()
+		}
+	}})
+	err := e.RunFor(ctx, 24*time.Hour)
+	if err == nil {
+		t.Fatal("cancelled run should fail")
+	}
+	if ticks > 2 {
+		t.Errorf("ran %d ticks after cancellation, want <= 2 (one simulated minute)", ticks)
+	}
+}

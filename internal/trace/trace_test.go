@@ -244,3 +244,38 @@ func TestStatsOrderingProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestOpenReturnsSameHandle(t *testing.T) {
+	r := NewRecorder()
+	s := r.Open("temp.subsp1")
+	if s != r.Series("temp.subsp1") || s != r.Open("temp.subsp1") {
+		t.Error("Open and Series must return the same handle for a name")
+	}
+	if !r.Has("temp.subsp1") {
+		t.Error("Open should create the series")
+	}
+}
+
+func TestGrowMakesAppendAllocationFree(t *testing.T) {
+	s := NewRecorder().Open("x")
+	const n = 1000
+	s.Grow(n + 1) // AllocsPerRun warms up with one extra call
+	i := 0
+	allocs := testing.AllocsPerRun(n, func() {
+		_ = s.Append(t0.Add(time.Duration(i)*time.Second), float64(i))
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Append after Grow allocates %.1f/op, want 0", allocs)
+	}
+	if s.Len() < n {
+		t.Errorf("Len = %d after %d appends", s.Len(), n)
+	}
+	// Growing an already-roomy series is a no-op.
+	before := s.Len()
+	s.Grow(0)
+	s.Grow(-5)
+	if s.Len() != before {
+		t.Error("Grow must not change the sample count")
+	}
+}

@@ -1,0 +1,53 @@
+#!/bin/sh
+# bench_json.sh — convert `go test -bench` output on stdin to a JSON
+# document on stdout. Pure POSIX awk, no dependencies; used by
+# `make bench-baseline` to record BENCH_parallel_runner.json.
+#
+#   go test -bench . -benchmem -benchtime 1x ./... | scripts/bench_json.sh
+#
+# Captures name, iterations, ns/op, and (when -benchmem is on) B/op and
+# allocs/op; custom b.ReportMetric units are folded into a "metrics" map.
+set -eu
+
+awk '
+function flush(  i, first) {
+    if (name == "") return
+    if (n++ > 0) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s", name, iters
+    if (nsop != "")   printf ", \"ns_per_op\": %s", nsop
+    if (bop != "")    printf ", \"bytes_per_op\": %s", bop
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    if (nmetrics > 0) {
+        printf ", \"metrics\": {"
+        first = 1
+        for (i = 1; i <= nmetrics; i++) {
+            if (!first) printf ", "
+            printf "\"%s\": %s", munit[i], mval[i]
+            first = 0
+        }
+        printf "}"
+    }
+    printf "}"
+    name = ""
+}
+BEGIN { n = 0; printf "{\n  \"benchmarks\": [\n" }
+/^goos: /   { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    flush()
+    name = $1; iters = $2
+    nsop = ""; bop = ""; allocs = ""; nmetrics = 0
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        if (unit == "ns/op")           nsop = $i
+        else if (unit == "B/op")       bop = $i
+        else if (unit == "allocs/op")  allocs = $i
+        else { nmetrics++; mval[nmetrics] = $i; munit[nmetrics] = unit }
+    }
+}
+END {
+    flush()
+    printf "\n  ],\n"
+    printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\"\n}\n", goos, goarch, cpu
+}'
