@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke bench-baseline ci
+.PHONY: all build test vet race bench-smoke bench-baseline bench-tick bench-tick-json ci
 
 all: build
 
@@ -30,5 +30,18 @@ bench-baseline:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' ./... \
 		| tee /dev/stderr | sh scripts/bench_json.sh > BENCH_parallel_runner.json
 
-ci: vet race bench-smoke
+# Tick-kernel smoke: the ticks/sec and per-kernel alloc benchmarks at a
+# short fixed iteration count — keeps the kernel benchmarks compiling and
+# running in CI without paying for a timed measurement.
+bench-tick:
+	$(GO) test -bench 'SystemTick|RoomStep|NetworkStep' -benchtime 100x -benchmem -run '^$$' .
+
+# Record the tick-kernel numbers (plus the end-to-end ReportGenerate they
+# improve) as BENCH_tick_kernel.json — the measurement quoted in the
+# EXPERIMENTS.md Performance section.
+bench-tick-json:
+	$(GO) test -bench 'SystemTick|RoomStep|NetworkStep|ReportGenerate$$' -benchmem -run '^$$' . \
+		| tee /dev/stderr | sh scripts/bench_json.sh > BENCH_tick_kernel.json
+
+ci: vet race bench-smoke bench-tick
 	@echo ci: OK

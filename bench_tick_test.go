@@ -1,0 +1,105 @@
+package bubblezero_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"bubblezero/internal/core"
+	"bubblezero/internal/psychro"
+	"bubblezero/internal/sim"
+	"bubblezero/internal/thermal"
+	"bubblezero/internal/wsn"
+)
+
+// Tick-kernel benchmarks: the per-tick hot path the zero-alloc work
+// targets. BenchmarkSystemTick is the headline ticks/sec number for the
+// fully assembled system; the Room.Step and Network.Step benchmarks
+// isolate the two kernels whose allocation behaviour is pinned to zero by
+// the package tests (internal/thermal, internal/wsn). Recorded in
+// BENCH_tick_kernel.json via `make bench-tick-json`.
+
+// benchStart matches the 13:00 trial start used across the experiments.
+var benchStart = time.Date(2013, time.August, 20, 13, 0, 0, 0, time.UTC)
+
+// BenchmarkSystemTick steps the fully assembled system — room, devices,
+// network, both hydraulic loops, controllers, glue, and trace recording —
+// one tick per iteration and reports the aggregate tick rate.
+func BenchmarkSystemTick(b *testing.B) {
+	sys, err := core.NewSystem(core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	// Warm up past the transient so iterations measure steady-state ticks
+	// (buffers grown, controllers engaged), then time b.N ticks in one run.
+	if err := sys.Engine().RunTicks(ctx, 600); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := sys.Engine().RunTicks(ctx, uint64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ticks/s")
+}
+
+// BenchmarkRoomStep isolates the thermal integration kernel: four coupled
+// zones with occupancy, ventilation input, and an open door, including the
+// per-tick derived-state (dew point, RH, averages) recomputation.
+func BenchmarkRoomStep(b *testing.B) {
+	r, err := thermal.NewRoom(thermal.DefaultConfig(),
+		psychro.NewStateDewPoint(28.9, 27.4, 0), 700)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.SetOccupants(thermal.ZoneID(0), 2)
+	r.SetVent(thermal.ZoneID(1), thermal.VentInput{
+		VolFlow: 0.02, Supply: psychro.NewStateDewPoint(18, 9, 0), SupplyCO2PPM: 400,
+	})
+	r.OpenDoor(time.Duration(1<<62) - 1)
+	e := sim.NewEngine(sim.MustClock(benchStart, time.Second), 7)
+	env := sim.NewEnv(e.Clock(), e.RNG())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step(env)
+	}
+}
+
+// BenchmarkNetworkStep isolates the CSMA channel kernel under load: thirty
+// senders contending per tick, with two subscribers on the delivery path.
+func BenchmarkNetworkStep(b *testing.B) {
+	e := sim.NewEngine(sim.MustClock(benchStart, time.Second), 11)
+	net, err := wsn.NewNetwork(wsn.DefaultConfig(), e.RNG().Stream("wsn"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := sim.NewEnv(e.Clock(), e.RNG())
+	var nodes []*wsn.Node
+	for i := 0; i < 20; i++ {
+		n, err := net.AddNode(wsn.NodeID(fmt.Sprintf("bt-%d", i)), wsn.PowerBattery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	for i := 0; i < 10; i++ {
+		n, err := net.AddNode(wsn.NodeID(fmt.Sprintf("ac-%d", i)), wsn.PowerAC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	net.Subscribe(func(wsn.Message) {}, wsn.MsgTemperature)
+	net.Subscribe(func(wsn.Message) {}, wsn.MsgHumidity)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range nodes {
+			_ = net.Broadcast(n, wsn.Message{Type: wsn.MsgTemperature})
+		}
+		net.Step(env)
+	}
+}

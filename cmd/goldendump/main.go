@@ -1,0 +1,45 @@
+// goldendump prints the SHA-256 of the bit-exact Figure 10 trace dump for
+// a seed (default 1). The kernel-determinism test pins this hash: any
+// change to the tick kernel that alters a single bit of any traced series
+// changes the digest. Usage: goldendump [-dump file] [-seed N]
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+
+	"bubblezero/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "scenario seed")
+	dump := flag.String("dump", "", "also write the full exact dump to this file")
+	flag.Parse()
+
+	r, err := experiments.Fig10(context.Background(), *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goldendump:", err)
+		os.Exit(1)
+	}
+	h := sha256.New()
+	if err := r.Recorder.WriteExact(h); err != nil {
+		fmt.Fprintln(os.Stderr, "goldendump:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%x\n", h.Sum(nil))
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "goldendump:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := r.Recorder.WriteExact(f); err != nil {
+			fmt.Fprintln(os.Stderr, "goldendump:", err)
+			os.Exit(1)
+		}
+	}
+}

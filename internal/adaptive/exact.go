@@ -2,7 +2,7 @@ package adaptive
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // exactGrid is the threshold-candidate resolution of the ground-truth
@@ -19,8 +19,23 @@ const exactGrid = 4096
 // the memory-unbounded ground truth for the paper's accuracy metric
 // ("we can further use exact variance values to conduct clustering and
 // obtain the optimal adaptation decisions").
+//
+// Threshold is the hottest call in the Figure 12/13 tick path, so the
+// clusterer keeps a persistent sorted mirror of the value log (merged
+// incrementally per call) and reusable scratch buffers, and scans the
+// candidate grid with monotone pointers instead of per-candidate binary
+// searches: O(new·log new + n + grid) per call and allocation-free at
+// steady state, with bit-identical results to the direct evaluation.
 type ExactClusterer struct {
 	values []float64
+
+	// sorted mirrors values[:len(sorted)] in ascending order; Threshold
+	// merges the unsorted tail in before evaluating. tail and merged are
+	// the scratch buffers for that merge; prefix holds the prefix sums.
+	sorted []float64
+	tail   []float64
+	merged []float64
+	prefix []float64
 }
 
 // Add records a variance value.
@@ -35,7 +50,50 @@ func (e *ExactClusterer) Add(v float64) {
 func (e *ExactClusterer) Total() int { return len(e.values) }
 
 // Reset discards the history.
-func (e *ExactClusterer) Reset() { e.values = e.values[:0] }
+func (e *ExactClusterer) Reset() {
+	e.values = e.values[:0]
+	e.sorted = e.sorted[:0]
+}
+
+// syncSorted brings the persistent sorted mirror up to date with the
+// value log: the values appended since the last call are sorted on their
+// own and merged with the already-sorted prefix. Equal values are
+// interchangeable float64 bit patterns (NaN is rejected by Add, and ±0
+// behave identically in every downstream comparison and sum), so the
+// result is indistinguishable from sorting the whole log afresh.
+func (e *ExactClusterer) syncSorted() {
+	n := len(e.values)
+	s := len(e.sorted)
+	if s == n {
+		return
+	}
+	if cap(e.tail) < n {
+		e.tail = make([]float64, 0, n)
+	}
+	tail := append(e.tail[:0], e.values[s:n]...)
+	slices.Sort(tail)
+	if s == 0 {
+		e.sorted = append(e.sorted[:0], tail...)
+		return
+	}
+	if cap(e.merged) < n {
+		e.merged = make([]float64, 0, n)
+	}
+	out := e.merged[:0]
+	i, j := 0, 0
+	for i < s && j < len(tail) {
+		if e.sorted[i] <= tail[j] {
+			out = append(out, e.sorted[i])
+			i++
+		} else {
+			out = append(out, tail[j])
+			j++
+		}
+	}
+	out = append(out, e.sorted[i:]...)
+	out = append(out, tail[j:]...)
+	e.sorted, e.merged = out, e.sorted
+}
 
 // Threshold returns the split λ minimising the Algorithm-1 objective over
 // the candidate grid. ok is false with fewer than two distinct values.
@@ -44,38 +102,59 @@ func (e *ExactClusterer) Threshold() (lambda float64, ok bool) {
 	if n < 2 {
 		return 0, false
 	}
-	sorted := make([]float64, n)
-	copy(sorted, e.values)
-	sort.Float64s(sorted)
+	e.syncSorted()
+	sorted := e.sorted
 	vmin, vmax := sorted[0], sorted[n-1]
 	if vmin == vmax {
 		return 0, false
 	}
 
-	prefix := make([]float64, n+1)
+	if cap(e.prefix) < n+1 {
+		e.prefix = make([]float64, n+1)
+	}
+	prefix := e.prefix[:n+1]
+	prefix[0] = 0
 	for i, v := range sorted {
 		prefix[i+1] = prefix[i] + v
 	}
-	// absDev returns Σ|v − c| over sorted[lo:hi].
-	absDev := func(lo, hi int, c float64) float64 {
+	// absDev returns Σ|v − c| over sorted[lo:hi], where k is the index of
+	// the first value in [lo, hi] not below c.
+	absDev := func(lo, hi, k int, c float64) float64 {
 		if lo >= hi {
 			return 0
 		}
-		k := lo + sort.SearchFloat64s(sorted[lo:hi], c)
 		below := c*float64(k-lo) - (prefix[k] - prefix[lo])
 		above := (prefix[hi] - prefix[k]) - c*float64(hi-k)
 		return below + above
 	}
 
+	// The candidate b and both cluster centers increase monotonically with
+	// j, so the three partition indices a binary search used to locate are
+	// maintained as forward-only pointers: split is the first value ≥ b,
+	// k1 the first ≥ cc1 (clamped to the lower cluster), and k2 the first
+	// ≥ cc2 (always ≥ split whenever the upper cluster is non-empty).
 	width := (vmax - vmin) / exactGrid
 	bestCost := math.Inf(1)
 	bestB := vmin + width
+	split, k1, k2 := 0, 0, 0
 	for j := 1; j < exactGrid; j++ {
 		b := vmin + float64(j)*width
-		split := sort.SearchFloat64s(sorted, b) // values <= b (b is off-grid of most values)
+		for split < n && sorted[split] < b {
+			split++
+		}
 		cc1 := (vmin + b) / 2
 		cc2 := (b + vmax) / 2
-		cost := absDev(0, split, cc1) + absDev(split, n, cc2)
+		for k1 < n && sorted[k1] < cc1 {
+			k1++
+		}
+		for k2 < n && sorted[k2] < cc2 {
+			k2++
+		}
+		kLo := k1
+		if kLo > split {
+			kLo = split
+		}
+		cost := absDev(0, split, kLo, cc1) + absDev(split, n, k2, cc2)
 		if cost < bestCost {
 			bestCost = cost
 			bestB = b

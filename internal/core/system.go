@@ -33,6 +33,7 @@ type System struct {
 	ventMod     *vent.Module
 
 	devices      []*wsn.SensorDevice
+	deviceByID   map[wsn.NodeID]*wsn.SensorDevice
 	broadcasters []*wsn.PeriodicBroadcaster
 	rec          *trace.Recorder
 	ts           traceSeries
@@ -158,6 +159,10 @@ func NewSystem(cfg Config) (*System, error) {
 	if err := s.buildTopology(); err != nil {
 		return nil, err
 	}
+	s.deviceByID = make(map[wsn.NodeID]*wsn.SensorDevice, len(s.devices))
+	for _, d := range s.devices {
+		s.deviceByID[d.Node().ID()] = d
+	}
 
 	// Component order is the data-flow order: sensor devices sample and
 	// enqueue, the network delivers to the control boards, the modules
@@ -202,14 +207,10 @@ func (s *System) Devices() []*wsn.SensorDevice {
 	return out
 }
 
-// Device returns the sensor device with the given node ID, or nil.
+// Device returns the sensor device with the given node ID, or nil. The
+// lookup is an O(1) map access over the index built in NewSystem.
 func (s *System) Device(id wsn.NodeID) *wsn.SensorDevice {
-	for _, d := range s.devices {
-		if d.Node().ID() == id {
-			return d
-		}
-	}
-	return nil
+	return s.deviceByID[id]
 }
 
 // Recorder returns the trace recorder.
@@ -308,9 +309,10 @@ func (s *System) Snapshot() Snapshot {
 		CondensationS: s.condensationS,
 	}
 	for z := 0; z < thermal.NumZones; z++ {
-		zone := s.room.Zone(thermal.ZoneID(z))
+		zid := thermal.ZoneID(z)
+		zone := s.room.Zone(zid)
 		snap.ZoneTempC[z] = zone.T
-		snap.ZoneDewC[z] = zone.DewPoint()
+		snap.ZoneDewC[z] = s.room.ZoneDewPoint(zid)
 		snap.ZoneCO2PPM[z] = zone.CO2PPM
 	}
 
@@ -359,7 +361,7 @@ func (s *System) glue(env *sim.Env) {
 			// point, vapour condenses at a rate set by the air-side film.
 			zone := s.room.Zone(zid)
 			wSurf := psychro.HumidityRatioFromDewPoint(res.TSurface, psychro.AtmPressure)
-			if zone.W > wSurf && res.TSurface < zone.DewPoint() {
+			if zone.W > wSurf && res.TSurface < s.room.ZoneDewPoint(zid) {
 				condensing = true
 				rate := s.cfg.PanelHAAir / 2 / 1006 * (zone.W - wSurf)
 				s.room.SetCondensation(zid, rate)
@@ -380,9 +382,11 @@ func (s *System) glue(env *sim.Env) {
 		})
 	}
 
-	// Tanks.
-	s.radiantTank.Step(dt, s.room.AverageT(), outdoor.T)
-	s.ventTank.Step(dt, s.room.AverageT(), outdoor.T)
+	// Tanks. The room average is computed once per tick and threaded
+	// through both tank steps (the COP path below needs no air state).
+	avgT := s.room.AverageT()
+	s.radiantTank.Step(dt, avgT, outdoor.T)
+	s.ventTank.Step(dt, avgT, outdoor.T)
 
 	// COP accounting at the paper's measurement points.
 	s.copRadiant.Add(radiantRemovedW,
@@ -405,17 +409,20 @@ func (s *System) glue(env *sim.Env) {
 }
 
 // recordTrace appends one sample to every traced series through the
-// handles opened at construction. The path is allocation-free per tick
-// apart from amortized slice growth inside Series.Append.
+// handles opened at construction, reading the room's per-tick derived
+// caches (the same exact values the glue and sensors consumed). The path
+// is allocation-free per tick apart from amortized slice growth inside
+// Series.Append.
 func (s *System) recordTrace(now time.Time) {
 	for z := 0; z < thermal.NumZones; z++ {
-		zone := s.room.Zone(thermal.ZoneID(z))
+		zid := thermal.ZoneID(z)
+		zone := s.room.Zone(zid)
 		_ = s.ts.zoneTemp[z].Append(now, zone.T)
-		_ = s.ts.zoneDew[z].Append(now, zone.DewPoint())
+		_ = s.ts.zoneDew[z].Append(now, s.room.ZoneDewPoint(zid))
 		_ = s.ts.zoneCO2[z].Append(now, zone.CO2PPM)
 	}
 	_ = s.ts.outdoorTemp.Append(now, s.room.Outdoor().T)
-	_ = s.ts.outdoorDew.Append(now, s.room.Outdoor().DewPoint())
+	_ = s.ts.outdoorDew.Append(now, s.room.OutdoorDewPoint())
 	_ = s.ts.avgTemp.Append(now, s.room.AverageT())
 	_ = s.ts.avgDew.Append(now, s.room.AverageDewPoint())
 	_ = s.ts.tankRadiant.Append(now, s.radiantTank.Temp())

@@ -86,6 +86,31 @@ func TestTopologyNodeCount(t *testing.T) {
 	}
 }
 
+// Device is an O(1) lookup over the map built in NewSystem; it must agree
+// with a linear scan of Devices() for every registered device, and
+// Devices() must keep its registration order (callers iterate it for
+// stable per-device reporting).
+func TestDeviceLookupConsistentWithDevices(t *testing.T) {
+	s := newSystem(t)
+	devs := s.Devices()
+	for i, d := range devs {
+		id := d.Node().ID()
+		if got := s.Device(id); got != d {
+			t.Errorf("Device(%q) = %p, want Devices()[%d] = %p", id, got, i, d)
+		}
+	}
+	again := s.Devices()
+	if len(again) != len(devs) {
+		t.Fatalf("Devices() length changed: %d -> %d", len(devs), len(again))
+	}
+	for i := range devs {
+		if devs[i] != again[i] {
+			t.Errorf("Devices() order unstable at %d: %s vs %s",
+				i, devs[i].Node().ID(), again[i].Node().ID())
+		}
+	}
+}
+
 // TestFig10PullDown reproduces the headline Figure 10 behaviour: from the
 // tropical initial condition (28.9 °C, 27.4 °C dew) the system approaches
 // the 25 °C / 18 °C-dew target in roughly 30 minutes and holds it.

@@ -76,7 +76,7 @@ func (s *System) buildTopology() error {
 		rhRNG := noise(fmt.Sprintf("rh%d", z))
 		if err := addSensor(fmt.Sprintf("bt-hum-%d", z+1), wsn.MsgHumidity, z,
 			adaptive.TsplHumidityS, func() float64 {
-				return maybe(rhModel, s.room.Zone(thermal.ZoneID(z)).RH(), rhRNG)
+				return maybe(rhModel, s.room.ZoneRH(thermal.ZoneID(z)), rhRNG)
 			}); err != nil {
 			return err
 		}
@@ -103,9 +103,9 @@ func (s *System) buildTopology() error {
 				zs := radiant.PanelZones(p)
 				dew := -100.0
 				for _, z := range zs {
-					zone := s.room.Zone(thermal.ZoneID(z))
-					tr := maybe(tModel, zone.T, rng)
-					rr := maybe(rhModel, zone.RH(), rng)
+					zid := thermal.ZoneID(z)
+					tr := maybe(tModel, s.room.Zone(zid).T, rng)
+					rr := maybe(rhModel, s.room.ZoneRH(zid), rng)
 					if d := psychro.DewPoint(tr, rr); d > dew {
 						dew = d
 					}

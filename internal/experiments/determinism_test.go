@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The tick-kernel optimizations (derived-state caching, scratch-reuse
+// networking, the incremental exact clusterer) claim bit-identity, and this
+// test enforces it: the SHA-256 of the bit-exact Figure 10 trace dump must
+// match the golden digest captured before any of those changes landed. The
+// dump renders every sample as a hex float (strconv 'x' format), so a
+// single flipped mantissa bit in any series changes the digest.
+//
+// Regenerate the golden (only after an intentional model change) with:
+//
+//	go run ./cmd/goldendump -seed 1 > internal/experiments/testdata/fig10_trace_seed1.sha256
+func TestFig10TraceBitIdenticalToGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 105-minute trial; skipped in -short mode")
+	}
+	goldenPath := filepath.Join("testdata", "fig10_trace_seed1.sha256")
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden digest: %v", err)
+	}
+	want := strings.TrimSpace(string(raw))
+
+	r, err := Fig10(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	if err := r.Recorder.WriteExact(h); err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("%x", h.Sum(nil))
+	if got != want {
+		t.Errorf("Fig10 seed-1 trace digest changed:\n got  %s\n want %s\n"+
+			"the tick kernel is no longer bit-identical to the pre-optimization baseline", got, want)
+	}
+}

@@ -14,6 +14,14 @@ type Env struct {
 	rng   *RNG
 }
 
+// NewEnv returns an Env over the given clock and RNG. The engine builds
+// its own Env for normal runs; this constructor exists so tests and
+// benchmarks can drive a single component's Step directly (e.g. the
+// AllocsPerRun pins on the tick kernel).
+func NewEnv(clock *Clock, rng *RNG) *Env {
+	return &Env{clock: clock, rng: rng}
+}
+
 // Now returns the simulated time at the start of the current step.
 func (e *Env) Now() time.Time { return e.clock.Now() }
 
@@ -128,10 +136,14 @@ func (e *Engine) ctxCheckEvery() uint64 {
 	return every
 }
 
-// RunFor advances the simulation by d of simulated time (rounded down to
-// whole ticks). The context is checked at least once per simulated minute
-// (and at least every 4096 ticks, for steps coarser than ~15 ms) so that
-// long runs remain cancellable without a per-tick overhead.
+// RunFor advances the simulation by d of simulated time, rounded DOWN to
+// whole ticks: a duration that is not a whole multiple of the step
+// silently truncates, so 90 s at a 60 s step runs exactly one tick and
+// d < step runs none. Callers that need the remainder covered must round
+// d up to a multiple of Clock.Step themselves. The context is checked at
+// least once per simulated minute (and at least every 4096 ticks, for
+// steps coarser than ~15 ms) so that long runs remain cancellable without
+// a per-tick overhead.
 func (e *Engine) RunFor(ctx context.Context, d time.Duration) error {
 	ticks := uint64(d / e.clock.Step())
 	return e.RunTicks(ctx, ticks)

@@ -299,3 +299,42 @@ func TestRunForCancellationLatencyBoundedInSimTime(t *testing.T) {
 		t.Errorf("ran %d ticks after cancellation, want <= 2 (one simulated minute)", ticks)
 	}
 }
+
+func TestRunForTruncatesPartialTicks(t *testing.T) {
+	// RunFor rounds the duration DOWN to whole ticks: 90 s at a 60 s step
+	// runs exactly one tick, and a duration shorter than the step runs
+	// none. This pins the documented contract.
+	cases := []struct {
+		d     time.Duration
+		ticks int
+	}{
+		{90 * time.Second, 1},
+		{59 * time.Second, 0},
+		{60 * time.Second, 1},
+		{119 * time.Second, 1},
+		{180 * time.Second, 3},
+	}
+	for _, tc := range cases {
+		e := NewEngine(MustClock(time.Unix(0, 0).UTC(), time.Minute), 1)
+		ticks := 0
+		e.Add(ComponentFunc{ID: "counter", Fn: func(*Env) { ticks++ }})
+		if err := e.RunFor(context.Background(), tc.d); err != nil {
+			t.Fatal(err)
+		}
+		if ticks != tc.ticks {
+			t.Errorf("RunFor(%v) at 60 s step ran %d ticks, want %d", tc.d, ticks, tc.ticks)
+		}
+	}
+}
+
+func TestNewEnvMatchesEngineEnv(t *testing.T) {
+	clock := MustClock(time.Unix(0, 0).UTC(), 250*time.Millisecond)
+	e := NewEngine(clock, 9)
+	env := NewEnv(e.Clock(), e.RNG())
+	if env.Dt() != 0.25 || env.Step() != 250*time.Millisecond {
+		t.Errorf("NewEnv dt = %v step = %v, want 0.25 / 250ms", env.Dt(), env.Step())
+	}
+	if env.RNG() != e.RNG() || !env.Now().Equal(clock.Now()) {
+		t.Error("NewEnv must expose the given clock and RNG")
+	}
+}

@@ -1,0 +1,88 @@
+package thermal
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"bubblezero/internal/psychro"
+	"bubblezero/internal/sim"
+)
+
+// The derived-state cache must be indistinguishable from computing each
+// quantity on demand: same functions, same argument values, therefore the
+// same bits. This test drives the room through a disturbed trajectory and
+// compares every cached accessor against the from-scratch formula at each
+// tick.
+func TestDerivedCacheBitIdenticalToFreshComputation(t *testing.T) {
+	r := newTestRoom(t, psychro.NewStateDewPoint(28.9, 27.4, 0), 700)
+	r.SetOccupants(ZoneID(1), 3)
+	r.OpenDoor(90 * time.Second)
+
+	e := sim.NewEngine(sim.MustClock(testStart, time.Second), 7)
+	env := sim.NewEnv(e.Clock(), e.RNG())
+	rng := rand.New(rand.NewPCG(1, 2))
+
+	check := func(tick int) {
+		t.Helper()
+		var sumT, sumW, sumCO2 float64
+		for z := 0; z < NumZones; z++ {
+			zone := r.Zone(ZoneID(z))
+			sumT += zone.T
+			sumW += zone.W
+			sumCO2 += zone.CO2PPM
+			if got, want := r.ZoneDewPoint(ZoneID(z)), zone.DewPoint(); got != want {
+				t.Fatalf("tick %d zone %d: cached dew %v != fresh %v", tick, z, got, want)
+			}
+			if got, want := r.ZoneRH(ZoneID(z)), zone.RH(); got != want {
+				t.Fatalf("tick %d zone %d: cached RH %v != fresh %v", tick, z, got, want)
+			}
+		}
+		if got, want := r.AverageT(), sumT/NumZones; got != want {
+			t.Fatalf("tick %d: cached AverageT %v != fresh %v", tick, got, want)
+		}
+		if got, want := r.AverageW(), sumW/NumZones; got != want {
+			t.Fatalf("tick %d: cached AverageW %v != fresh %v", tick, got, want)
+		}
+		if got, want := r.AverageCO2(), sumCO2/NumZones; got != want {
+			t.Fatalf("tick %d: cached AverageCO2 %v != fresh %v", tick, got, want)
+		}
+		if got, want := r.AverageDewPoint(), psychro.DewPointFromHumidityRatio(sumW/NumZones, psychro.AtmPressure); got != want {
+			t.Fatalf("tick %d: cached AverageDewPoint %v != fresh %v", tick, got, want)
+		}
+		if got, want := r.OutdoorDewPoint(), r.Outdoor().DewPoint(); got != want {
+			t.Fatalf("tick %d: cached OutdoorDewPoint %v != fresh %v", tick, got, want)
+		}
+	}
+
+	check(-1) // cache must be primed at construction, before the first Step
+	for tick := 0; tick < 600; tick++ {
+		// Exercise the actuator inputs so humidity and CO₂ move.
+		r.SetPanelExtraction(ZoneID(0), 200+50*rng.Float64())
+		r.SetVent(ZoneID(2), VentInput{
+			VolFlow: 0.02, Supply: psychro.NewStateDewPoint(18, 9, 0), SupplyCO2PPM: 400,
+		})
+		if tick == 300 {
+			r.SetOutdoor(psychro.NewStateDewPoint(31, 25, 0))
+		}
+		r.Step(env)
+		check(tick)
+	}
+}
+
+// Room.Step is the per-tick integration kernel; it must not allocate.
+func TestRoomStepZeroAlloc(t *testing.T) {
+	r := newTestRoom(t, psychro.NewStateDewPoint(28.9, 27.4, 0), 700)
+	r.SetOccupants(ZoneID(0), 2)
+	r.SetVent(ZoneID(1), VentInput{
+		VolFlow: 0.02, Supply: psychro.NewStateDewPoint(18, 9, 0), SupplyCO2PPM: 400,
+	})
+	r.OpenDoor(time.Hour)
+	r.OpenWindow(time.Hour)
+	e := sim.NewEngine(sim.MustClock(testStart, time.Second), 7)
+	env := sim.NewEnv(e.Clock(), e.RNG())
+
+	if allocs := testing.AllocsPerRun(1000, func() { r.Step(env) }); allocs != 0 {
+		t.Errorf("Room.Step allocates %.2f/op, want 0", allocs)
+	}
+}

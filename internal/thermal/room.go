@@ -44,6 +44,23 @@ type VentInput struct {
 	SupplyCO2PPM float64
 }
 
+// derivedState caches the psychrometric quantities that every consumer of
+// the room (the control glue, the sensor read callbacks, the trace
+// recorder) derives from the prognostic zone state. The zone state only
+// changes inside Step, so each quantity is computed exactly once per tick
+// — with the same functions and the same argument values the on-demand
+// accessors used, keeping every cached read bit-identical to a fresh
+// computation.
+type derivedState struct {
+	zoneDew [NumZones]float64 // per-zone dew point, °C
+	zoneRH  [NumZones]float64 // per-zone relative humidity, %
+
+	avgT   float64 // room-average dry bulb, °C
+	avgW   float64 // room-average humidity ratio, kg/kg
+	avgDew float64 // dew point of the average state, °C
+	avgCO2 float64 // room-average CO₂, ppm
+}
+
 // Room is the four-zone laboratory model. It implements sim.Component;
 // actuator inputs (ventilation, panel extraction, condensation) are set by
 // upstream components each tick and consumed during Step.
@@ -51,6 +68,10 @@ type Room struct {
 	cfg Config
 
 	zones [NumZones]ZoneState
+	der   derivedState
+	// outdoorDew caches cfg.Outdoor.DewPoint(); it only changes when the
+	// outdoor boundary condition itself changes.
+	outdoorDew float64
 
 	// Per-step inputs (reset is not needed; setters overwrite each tick).
 	vent         [NumZones]VentInput
@@ -77,7 +98,28 @@ func NewRoom(cfg Config, initial psychro.State, initialCO2 float64) (*Room, erro
 	for i := range r.zones {
 		r.zones[i] = ZoneState{T: initial.T, W: initial.W, CO2PPM: initialCO2}
 	}
+	r.recomputeDerived()
+	r.outdoorDew = r.cfg.Outdoor.DewPoint()
 	return r, nil
+}
+
+// recomputeDerived refreshes the per-tick derived-state cache from the
+// current zone state. Called whenever r.zones changes (construction and
+// the end of every Step).
+func (r *Room) recomputeDerived() {
+	var sumT, sumW, sumCO2 float64
+	for i := range r.zones {
+		z := r.zones[i]
+		r.der.zoneDew[i] = z.DewPoint()
+		r.der.zoneRH[i] = z.RH()
+		sumT += z.T
+		sumW += z.W
+		sumCO2 += z.CO2PPM
+	}
+	r.der.avgT = sumT / NumZones
+	r.der.avgW = sumW / NumZones
+	r.der.avgCO2 = sumCO2 / NumZones
+	r.der.avgDew = psychro.DewPointFromHumidityRatio(r.der.avgW, psychro.AtmPressure)
 }
 
 // NewRoomAtOutdoor builds a room initially in equilibrium with the
@@ -103,43 +145,51 @@ func (r *Room) Zone(id ZoneID) ZoneState {
 
 // AverageT returns the room-average dry-bulb temperature (°C) — the
 // quantity the paper computes "by averaging temperature readings from a
-// set of sensors deployed in the room".
-func (r *Room) AverageT() float64 {
-	var sum float64
-	for _, z := range r.zones {
-		sum += z.T
-	}
-	return sum / NumZones
-}
+// set of sensors deployed in the room". Cached per tick.
+func (r *Room) AverageT() float64 { return r.der.avgT }
 
-// AverageW returns the room-average humidity ratio (kg/kg).
-func (r *Room) AverageW() float64 {
-	var sum float64
-	for _, z := range r.zones {
-		sum += z.W
-	}
-	return sum / NumZones
-}
+// AverageW returns the room-average humidity ratio (kg/kg). Cached per
+// tick.
+func (r *Room) AverageW() float64 { return r.der.avgW }
 
 // AverageDewPoint returns the dew point (°C) of the average room state.
-func (r *Room) AverageDewPoint() float64 {
-	return psychro.DewPointFromHumidityRatio(r.AverageW(), psychro.AtmPressure)
+// Cached per tick.
+func (r *Room) AverageDewPoint() float64 { return r.der.avgDew }
+
+// AverageCO2 returns the room-average CO₂ concentration (ppm). Cached per
+// tick.
+func (r *Room) AverageCO2() float64 { return r.der.avgCO2 }
+
+// ZoneDewPoint returns the dew point (°C) of the given subspace — the
+// per-tick cached equivalent of Zone(id).DewPoint().
+func (r *Room) ZoneDewPoint(id ZoneID) float64 {
+	if !id.Valid() {
+		return 0
+	}
+	return r.der.zoneDew[id]
 }
 
-// AverageCO2 returns the room-average CO₂ concentration (ppm).
-func (r *Room) AverageCO2() float64 {
-	var sum float64
-	for _, z := range r.zones {
-		sum += z.CO2PPM
+// ZoneRH returns the relative humidity (%) of the given subspace — the
+// per-tick cached equivalent of Zone(id).RH().
+func (r *Room) ZoneRH(id ZoneID) float64 {
+	if !id.Valid() {
+		return 0
 	}
-	return sum / NumZones
+	return r.der.zoneRH[id]
 }
 
 // Outdoor returns the current outdoor boundary condition.
 func (r *Room) Outdoor() psychro.State { return r.cfg.Outdoor }
 
+// OutdoorDewPoint returns the dew point (°C) of the outdoor boundary
+// condition — the cached equivalent of Outdoor().DewPoint().
+func (r *Room) OutdoorDewPoint() float64 { return r.outdoorDew }
+
 // SetOutdoor updates the outdoor boundary condition mid-run.
-func (r *Room) SetOutdoor(s psychro.State) { r.cfg.Outdoor = s }
+func (r *Room) SetOutdoor(s psychro.State) {
+	r.cfg.Outdoor = s
+	r.outdoorDew = s.DewPoint()
+}
 
 // SetVent installs the ventilation boundary condition for a zone. It stays
 // in effect until overwritten.
@@ -212,7 +262,13 @@ func (r *Room) DoorOpenings() int { return r.doorOpenings }
 func (r *Room) Step(env *sim.Env) {
 	dt := env.Dt()
 	out := r.cfg.Outdoor
+
+	// Loop-invariant terms, hoisted: the outdoor air density, the per-zone
+	// envelope UA share, and the infiltration volume flow are identical for
+	// every zone this tick.
 	rhoOut := psychro.DryAirDensity(out.T, out.P)
+	envUAShare := r.cfg.EnvelopeUA / NumZones
+	infVol := r.cfg.InfiltrationACH * r.cfg.ZoneVolume / 3600 // m³/s
 
 	var next [NumZones]ZoneState
 	for i := range r.zones {
@@ -227,18 +283,17 @@ func (r *Room) Step(env *sim.Env) {
 		var co2Flow float64 // ppm·m³/s equivalent
 
 		// Envelope conduction, split evenly.
-		q += r.cfg.EnvelopeUA / NumZones * (out.T - z.T)
+		q += envUAShare * (out.T - z.T)
 
 		// Infiltration.
-		infVol := r.cfg.InfiltrationACH * r.cfg.ZoneVolume / 3600 // m³/s
 		q += infVol * rhoOut * cpAir * (out.T - z.T)
 		wFlow += infVol * rhoOut * (out.W - z.W)
 		co2Flow += infVol * (r.cfg.OutdoorCO2PPM - z.CO2PPM)
 
 		// Inter-zone mixing with each neighbour.
+		mdot := r.cfg.InterZoneFlow * rho
 		for _, n := range adjacency[i] {
 			zn := r.zones[n]
-			mdot := r.cfg.InterZoneFlow * rho
 			q += mdot * cpAir * (zn.T - z.T)
 			wFlow += mdot * (zn.W - z.W)
 			co2Flow += r.cfg.InterZoneFlow * (zn.CO2PPM - z.CO2PPM)
@@ -289,6 +344,7 @@ func (r *Room) Step(env *sim.Env) {
 		}
 	}
 	r.zones = next
+	r.recomputeDerived()
 
 	if r.doorRemaining > 0 {
 		r.doorRemaining -= dt

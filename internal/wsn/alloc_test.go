@@ -1,0 +1,102 @@
+package wsn
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bubblezero/internal/sim"
+)
+
+// A loaded Network.Step — a full complement of battery and AC senders all
+// contending in one tick — must not allocate: the offset sort is
+// comparison-based (no reflection boxing) and the deferral/collision
+// scratch buffers are owned by the network and reused across ticks.
+func TestNetworkStepZeroAllocLoaded(t *testing.T) {
+	net, e := newTestNetwork(t, DefaultConfig())
+	env := sim.NewEnv(e.Clock(), e.RNG())
+
+	const nBattery, nAC = 20, 10
+	nodes := make([]*Node, 0, nBattery+nAC)
+	for i := 0; i < nBattery; i++ {
+		n, err := net.AddNode(NodeID(fmt.Sprintf("bt-%d", i)), PowerBattery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	for i := 0; i < nAC; i++ {
+		n, err := net.AddNode(NodeID(fmt.Sprintf("ac-%d", i)), PowerAC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	// Subscribers on the delivery path, like the real control boards.
+	net.Subscribe(func(Message) {}, MsgTemperature)
+	net.Subscribe(func(Message) {}, MsgHumidity)
+
+	// Warm up: first tick may grow the pending and scratch buffers.
+	for _, n := range nodes {
+		if err := net.Broadcast(n, Message{Type: MsgTemperature}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Step(env)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, n := range nodes {
+			_ = net.Broadcast(n, Message{Type: MsgTemperature})
+		}
+		net.Step(env)
+	})
+	if allocs != 0 {
+		t.Errorf("loaded Broadcast+Step allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// The scratch buffers must resize correctly when the pending set grows and
+// must leave no stale collision flags behind when it shrinks.
+func TestNetworkScratchReuseAcrossLoadChanges(t *testing.T) {
+	// A 10 ms tick packs every random offset inside the (full-airtime)
+	// blind window, so the heavy tick is all collisions.
+	e := sim.NewEngine(sim.MustClock(testStart, 10*time.Millisecond), 11)
+	net, err := NewNetwork(Config{AirtimeS: 0.0043, CCABlindS: 0.0043, LossFloor: 0, Desync: false},
+		e.RNG().Stream("wsn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sim.NewEnv(e.Clock(), e.RNG())
+
+	var nodes []*Node
+	for i := 0; i < 8; i++ {
+		n, err := net.AddNode(NodeID(fmt.Sprintf("bt-%d", i)), PowerBattery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+
+	// Heavy tick: with CCABlindS == AirtimeS almost everything collides,
+	// setting most scratch flags true.
+	for _, n := range nodes {
+		_ = net.Broadcast(n, Message{Type: MsgTemperature})
+	}
+	net.Step(env)
+	if net.Stats().Collided == 0 {
+		t.Fatal("heavy tick should collide under a full-airtime blind window")
+	}
+
+	// Light tick: one lone sender cannot collide. A stale flag from the
+	// heavy tick would wrongly corrupt it.
+	before := net.Stats()
+	_ = net.Broadcast(nodes[0], Message{Type: MsgTemperature})
+	net.Step(env)
+	after := net.Stats()
+	if after.Collided != before.Collided {
+		t.Errorf("lone sender collided: stale scratch flags leaked across ticks")
+	}
+	if after.Delivered != before.Delivered+1 {
+		t.Errorf("lone sender not delivered: %+v -> %+v", before, after)
+	}
+}

@@ -1,9 +1,10 @@
 package wsn
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand/v2"
-	"sort"
+	"slices"
 
 	"bubblezero/internal/energy"
 	"bubblezero/internal/sim"
@@ -56,7 +57,8 @@ type Node struct {
 	class   PowerClass
 	battery *energy.Battery // nil for AC nodes
 	seq     uint32
-	acSlot  int // desync slot index for AC nodes
+	acSlot  int      // desync slot index for AC nodes
+	net     *Network // the registry that created this node (via AddNode)
 }
 
 // ID returns the node identifier.
@@ -93,6 +95,29 @@ func (s Stats) AvgDelayS() float64 {
 	return s.TotalDelayS / float64(s.Delivered)
 }
 
+// scratchStarts returns the reusable start-time buffer sized to k. Values
+// are fully overwritten by the deferral pass, so no clearing is needed.
+func (n *Network) scratchStarts(k int) []float64 {
+	if cap(n.starts) < k {
+		n.starts = make([]float64, k)
+	}
+	n.starts = n.starts[:k]
+	return n.starts
+}
+
+// scratchCollided returns the reusable collision-flag buffer sized to k,
+// cleared to false (the collision pass only ever sets flags).
+func (n *Network) scratchCollided(k int) []bool {
+	if cap(n.collided) < k {
+		n.collided = make([]bool, k)
+	}
+	n.collided = n.collided[:k]
+	for i := range n.collided {
+		n.collided[i] = false
+	}
+	return n.collided
+}
+
 type pendingTx struct {
 	msg    Message
 	node   *Node
@@ -116,6 +141,12 @@ type Network struct {
 	pending []pendingTx
 	subs    []subscription
 	stats   Stats
+
+	// starts and collided are Step's scratch buffers, owned by the network
+	// and regrown only when the pending set outgrows them, so the per-tick
+	// contention resolution performs no allocations.
+	starts   []float64
+	collided []bool
 
 	// sniffer callbacks observe every delivered message (the paper's
 	// TelosB sniffer nodes that log all network packets).
@@ -150,7 +181,7 @@ func (n *Network) AddNode(id NodeID, class PowerClass) (*Node, error) {
 	if _, exists := n.nodes[id]; exists {
 		return nil, fmt.Errorf("wsn: duplicate node %q", id)
 	}
-	node := &Node{id: id, class: class}
+	node := &Node{id: id, class: class, net: n}
 	if class == PowerBattery {
 		node.battery = energy.NewTwoAA()
 	} else {
@@ -188,7 +219,10 @@ func (n *Network) Broadcast(node *Node, msg Message) error {
 	if node == nil {
 		return fmt.Errorf("wsn: broadcast from nil node")
 	}
-	if _, ok := n.nodes[node.id]; !ok {
+	// Nodes are only created by AddNode, so the back-pointer check is
+	// equivalent to the former map lookup without the per-packet string
+	// hashing.
+	if node.net != n {
 		return fmt.Errorf("wsn: broadcast from unregistered node %q", node.id)
 	}
 	if node.battery != nil {
@@ -229,8 +263,12 @@ func (n *Network) Step(env *sim.Env) {
 			tx.offset = n.rng.Float64() * tick
 		}
 	}
-	sort.Slice(n.pending, func(i, j int) bool {
-		return n.pending[i].offset < n.pending[j].offset
+	// Offsets are continuous RNG draws, so ties have probability zero and
+	// the sorted order is the same total order sort.Slice produced; the
+	// comparison-function sort avoids the reflection-based swap path and
+	// its per-call closure allocation.
+	slices.SortFunc(n.pending, func(a, b pendingTx) int {
+		return cmp.Compare(a.offset, b.offset)
 	})
 
 	// CSMA deferral pass: a sender that finds the channel busy waits for
@@ -238,7 +276,7 @@ func (n *Network) Step(env *sim.Env) {
 	// if the ongoing frame started at least CCABlindS earlier; a frame
 	// younger than the carrier-sense blind window is invisible, so the
 	// sender transmits anyway and the collision pass below corrupts both.
-	starts := make([]float64, len(n.pending))
+	starts := n.scratchStarts(len(n.pending))
 	busyUntil := -1.0
 	lastStart := -1.0
 	for i, tx := range n.pending {
@@ -255,7 +293,7 @@ func (n *Network) Step(env *sim.Env) {
 
 	// Collision pass: consecutive starts within the CCA blind window
 	// corrupt each other.
-	collided := make([]bool, len(n.pending))
+	collided := n.scratchCollided(len(n.pending))
 	for i := 1; i < len(starts); i++ {
 		if starts[i]-starts[i-1] < n.cfg.CCABlindS {
 			collided[i] = true
