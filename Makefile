@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke bench-baseline bench-tick bench-tick-json ci
+.PHONY: all build test vet race bench-smoke bench-baseline bench-tick bench-tick-json benchguard ci
 
 all: build
 
@@ -38,10 +38,21 @@ bench-tick:
 
 # Record the tick-kernel numbers (plus the end-to-end ReportGenerate they
 # improve) as BENCH_tick_kernel.json — the measurement quoted in the
-# EXPERIMENTS.md Performance section.
+# EXPERIMENTS.md Performance section and the baseline scripts/benchguard
+# gates against. Best of -count 6 per benchmark (bench_json.sh keeps the
+# fastest run), matching benchguard's own measurement procedure so the
+# recorded baseline is reproducible, not a single-shot noise draw.
 bench-tick-json:
-	$(GO) test -bench 'SystemTick|RoomStep|NetworkStep|ReportGenerate$$' -benchmem -run '^$$' . \
+	$(GO) test -bench 'SystemTick|RoomStep|NetworkStep|ReportGenerate$$' -benchmem -count 6 -run '^$$' . \
 		| tee /dev/stderr | sh scripts/bench_json.sh > BENCH_tick_kernel.json
 
-ci: vet race bench-smoke bench-tick
+# Regression gate: fail when the measured ticks/s falls more than
+# BENCHGUARD_PCT (default 10%) below the committed BENCH_tick_kernel.json
+# baseline. Best-of-BENCHGUARD_COUNT runs, so one noisy scheduling slice
+# on a shared machine cannot fail the build. Ordered first in ci: the
+# timing must be taken before the race tests saturate the machine.
+benchguard:
+	sh scripts/benchguard
+
+ci: benchguard vet race bench-smoke bench-tick
 	@echo ci: OK

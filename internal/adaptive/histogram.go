@@ -19,9 +19,14 @@ import (
 // round each variance value to the closest slot center and maintain a
 // counter U_i").
 type Histogram struct {
-	n        int
-	varMin   float64
-	varMax   float64
+	n      int
+	varMin float64
+	varMax float64
+	// width caches (varMax − varMin)/n, refreshed whenever the range
+	// changes. slotWidth is on the per-sample path and in Threshold's
+	// O(N²) inner loop via center; the cached value is the same float the
+	// divide would produce because it is computed from the same operands.
+	width    float64
 	counts   []uint32
 	total    int
 	hasRange bool
@@ -48,8 +53,12 @@ func (h *Histogram) Range() (varMin, varMax float64, ok bool) {
 }
 
 // slotWidth returns Δvar = (varMax − varMin)/N.
-func (h *Histogram) slotWidth() float64 {
-	return (h.varMax - h.varMin) / float64(h.n)
+func (h *Histogram) slotWidth() float64 { return h.width }
+
+// setRange updates the range and the cached slot width.
+func (h *Histogram) setRange(lo, hi float64) {
+	h.varMin, h.varMax = lo, hi
+	h.width = (hi - lo) / float64(h.n)
 }
 
 // center returns the center c_i of 1-based slot i:
@@ -90,7 +99,7 @@ func (h *Histogram) Add(v float64) {
 	halfSlot := h.slotWidth() / 2
 	switch {
 	case h.total == 0:
-		h.varMin, h.varMax = v, v
+		h.setRange(v, v)
 	case !h.hasRange:
 		// Second distinct value establishes the range.
 		if v < h.varMin {
@@ -117,7 +126,7 @@ func (h *Histogram) rescale(lo, hi float64) {
 	old := h.counts
 	oldMin, oldMax := h.varMin, h.varMax
 	oldWidth := (oldMax - oldMin) / float64(h.n)
-	h.varMin, h.varMax = lo, hi
+	h.setRange(lo, hi)
 	h.counts = make([]uint32, h.n)
 	if !h.hasRange || oldWidth <= 0 {
 		// All prior mass sits at a single value (oldMin == oldMax).

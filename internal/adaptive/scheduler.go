@@ -236,7 +236,11 @@ func (s *Scheduler) OnSample(reading float64) Event {
 	s.window[s.wpos] = reading
 	s.sum += reading
 	s.sumSq += reading * reading
-	s.wpos = (s.wpos + 1) % s.cfg.Window
+	// Wrap with a compare instead of % — the divide is measurable on the
+	// per-sample path and the increment is always < Window.
+	if s.wpos++; s.wpos == s.cfg.Window {
+		s.wpos = 0
+	}
 
 	s.sinceSend += s.cfg.TsplS
 	s.sinceLambda += s.cfg.TsplS
@@ -303,7 +307,9 @@ func (s *Scheduler) OnSample(reading float64) Event {
 			s.recent = make([]bool, recentWindow)
 		}
 		s.recent[s.recentPos] = matched
-		s.recentPos = (s.recentPos + 1) % recentWindow
+		if s.recentPos++; s.recentPos == recentWindow {
+			s.recentPos = 0
+		}
 		if s.recentPos == 0 {
 			s.recentFull = true
 		}

@@ -43,6 +43,15 @@ type System struct {
 
 	condensationS float64 // cumulative seconds any panel surface was wet
 	sinceTrace    float64
+
+	// wSurfMemo caches HumidityRatioFromDewPoint(TSurface) per panel,
+	// keyed on the exact surface temperature. The hydraulic loops settle
+	// onto exact float fixed points at steady state, so after the pull-down
+	// transient the key matches tick after tick; on any miss the value is
+	// recomputed with the same pure function and arguments, keeping the
+	// condensation check bit-identical. Keys start NaN, which never
+	// matches.
+	wSurfMemo [radiant.NumPanels]struct{ tSurf, w float64 }
 }
 
 // traceSeries holds the recorder handles for every series the glue traces,
@@ -152,6 +161,9 @@ func NewSystem(cfg Config) (*System, error) {
 		ventMod:     ventMod,
 		rec:         trace.NewRecorder(),
 	}
+	for p := range s.wSurfMemo {
+		s.wSurfMemo[p].tSurf = math.NaN()
+	}
 	if cfg.TracePeriod > 0 {
 		s.ts = openTraceSeries(s.rec)
 	}
@@ -167,13 +179,21 @@ func NewSystem(cfg Config) (*System, error) {
 	// Component order is the data-flow order: sensor devices sample and
 	// enqueue, the network delivers to the control boards, the modules
 	// actuate their hydraulics, and the glue pushes the plant forward.
+	//
+	// Scheduling is cadence-aware: devices and broadcasters implement
+	// sim.Cadenced, so Add places them on the engine's due-wheel and they
+	// are stepped only on sampling/broadcast ticks; the network runs
+	// on demand, woken exactly on ticks where some producer transmitted
+	// (its Step was a no-op on the other ticks). The controllers, glue,
+	// and room integrate over dt every tick and stay on the always path.
 	for _, d := range s.devices {
 		engine.Add(d)
 	}
 	for _, b := range s.broadcasters {
 		engine.Add(b)
 	}
-	engine.Add(net, radiantMod, ventMod)
+	net.SetWake(engine.AddOnDemand(net))
+	engine.Add(radiantMod, ventMod)
 	engine.Add(sim.ComponentFunc{ID: "core.glue", Fn: s.glue})
 	engine.Add(room)
 	return s, nil
@@ -353,6 +373,16 @@ func (s *System) glue(env *sim.Env) {
 	for p := 0; p < radiant.NumPanels; p++ {
 		res := s.radiantMod.Loop(p).Result()
 		radiantRemovedW += res.QW
+		// The saturation humidity ratio at the panel surface depends only
+		// on the (per-panel) surface temperature, so it is computed once
+		// per panel, not once per zone — and cached against the exact
+		// surface temperature, which sits on a float fixed point once the
+		// loop reaches steady state.
+		if m := &s.wSurfMemo[p]; m.tSurf != res.TSurface {
+			m.tSurf = res.TSurface
+			m.w = psychro.HumidityRatioFromDewPoint(res.TSurface, psychro.AtmPressure)
+		}
+		wSurf := s.wSurfMemo[p].w
 		zs := radiant.PanelZones(p)
 		for _, z := range zs {
 			zid := thermal.ZoneID(z)
@@ -360,7 +390,6 @@ func (s *System) glue(env *sim.Env) {
 			// Condensation: if the panel surface sits below the zone dew
 			// point, vapour condenses at a rate set by the air-side film.
 			zone := s.room.Zone(zid)
-			wSurf := psychro.HumidityRatioFromDewPoint(res.TSurface, psychro.AtmPressure)
 			if zone.W > wSurf && res.TSurface < s.room.ZoneDewPoint(zid) {
 				condensing = true
 				rate := s.cfg.PanelHAAir / 2 / 1006 * (zone.W - wSurf)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 
 	"bubblezero/internal/adaptive"
@@ -12,6 +13,25 @@ import (
 	"bubblezero/internal/vent"
 	"bubblezero/internal/wsn"
 )
+
+// panelDewIndex extracts N from a "bt-paneldew-N" node id. Parsed by
+// hand: fmt.Sscanf on this per-message path builds a scan state and
+// reads the string rune-by-rune, which shows up in tick-kernel profiles.
+func panelDewIndex(id string) (int, bool) {
+	const prefix = "bt-paneldew-"
+	if len(id) <= len(prefix) || id[:len(prefix)] != prefix {
+		return 0, false
+	}
+	n := 0
+	for i := len(prefix); i < len(id); i++ {
+		c := id[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
 
 // buildTopology instantiates the deployment's nodes and the Figure 8
 // supply/consumption wiring:
@@ -122,11 +142,22 @@ func (s *System) buildTopology() error {
 		tModel := sensor.SHT75Temperature().WithRandomBias(noise(fmt.Sprintf("bias-bdt%d", b)))
 		rhModel := sensor.SHT75Humidity().WithRandomBias(noise(fmt.Sprintf("bias-bdrh%d", b)))
 		rng := noise(fmt.Sprintf("boxdew%d", b))
+		// The outlet state is often bit-identical between samples — a
+		// parked box passes the (constant) outdoor state through, and a
+		// running coil's first-order lag settles onto a float fixed point —
+		// so the RH conversion is cached by exact state. NaN keys never
+		// compare equal, so the first sample always computes.
+		rhT, rhW, rhP := math.NaN(), math.NaN(), math.NaN()
+		var rhOut float64
 		if err := addSensor(fmt.Sprintf("bt-boxdew-%d", b+1), wsn.MsgAirboxDew, b,
 			adaptive.TsplHumidityS, func() float64 {
 				out := s.ventMod.Box(b).Outlet()
+				if out.T != rhT || out.W != rhW || out.P != rhP {
+					rhT, rhW, rhP = out.T, out.W, out.P
+					rhOut = out.RH()
+				}
 				tr := maybe(tModel, out.T, rng)
-				rr := maybe(rhModel, out.RH(), rng)
+				rr := maybe(rhModel, rhOut, rng)
 				return psychro.DewPoint(tr, rr)
 			}); err != nil {
 			return err
@@ -196,8 +227,7 @@ func (s *System) buildTopology() error {
 	}, wsn.MsgCO2)
 	s.net.Subscribe(func(m wsn.Message) {
 		// Panel index is encoded in the source node name bt-paneldew-N.
-		var p int
-		if _, err := fmt.Sscanf(string(m.Source), "bt-paneldew-%d", &p); err == nil {
+		if p, ok := panelDewIndex(string(m.Source)); ok {
 			s.radiantMod.ObservePanelDew(p-1, m.Value)
 		}
 	}, wsn.MsgPanelDew)

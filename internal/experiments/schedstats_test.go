@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"bubblezero/internal/core"
+)
+
+// The cadence-aware scheduler's win must be observable, not asserted:
+// over the Figure 10 trial (6300 one-second ticks) every sensor mote and
+// AC broadcaster must be activated exactly on its sampling/broadcast
+// ticks and skipped on all others, the network must run on demand, and
+// the physics/control path must remain every-tick. The expected counts
+// are pure arithmetic on the paper's §IV-B periods: a device's sampling
+// accumulator first crosses at tick period−1 (floor(6300/p) activations),
+// a broadcaster fires on its registration tick and every period after.
+func TestFig10SchedulerStepStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 105-minute trial; skipped in -short mode")
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(context.Background(), 105*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	const ticks = 6300
+	// Expected due-tick activations per cadenced component.
+	wantSteps := map[string]uint64{
+		"wsn.sensor.bt-temp-1": 2100, // T_spl = 3 s
+		"wsn.sensor.bt-temp-2": 2100,
+		"wsn.sensor.bt-temp-3": 2100,
+		"wsn.sensor.bt-temp-4": 2100,
+		"wsn.sensor.bt-hum-1":  3150, // 2 s
+		"wsn.sensor.bt-hum-2":  3150,
+		"wsn.sensor.bt-hum-3":  3150,
+		"wsn.sensor.bt-hum-4":  3150,
+		"wsn.sensor.bt-co2-1":  1575, // 4 s
+		"wsn.sensor.bt-co2-2":  1575,
+		"wsn.sensor.bt-co2-3":  1575,
+		"wsn.sensor.bt-co2-4":  1575,
+
+		"wsn.sensor.bt-paneldew-1": 3150, // 2 s
+		"wsn.sensor.bt-paneldew-2": 3150,
+		"wsn.sensor.bt-boxdew-1":   3150,
+		"wsn.sensor.bt-boxdew-2":   3150,
+		"wsn.sensor.bt-boxdew-3":   3150,
+		"wsn.sensor.bt-boxdew-4":   3150,
+
+		"wsn.periodic.ac-control-c1":   1260, // 5 s
+		"wsn.periodic.ac-control-c2-1": 3150, // 2 s
+		"wsn.periodic.ac-control-c2-2": 3150,
+		"wsn.periodic.ac-control-v1":   1260, // 5 s
+		"wsn.periodic.ac-control-v2-1": 3150, // 2 s
+		"wsn.periodic.ac-control-v2-2": 3150,
+		"wsn.periodic.ac-control-v2-3": 3150,
+		"wsn.periodic.ac-control-v2-4": 3150,
+		"wsn.periodic.ac-control-v3-1": 3150,
+		"wsn.periodic.ac-control-v3-2": 3150,
+		"wsn.periodic.ac-control-v3-3": 3150,
+		"wsn.periodic.ac-control-v3-4": 3150,
+	}
+	everyTick := map[string]bool{
+		"radiant.module": true,
+		"vent.module":    true,
+		"core.glue":      true,
+		"thermal.room":   true,
+	}
+
+	stats := sys.Engine().StepStats()
+	if want := len(wantSteps) + len(everyTick) + 1; len(stats) != want {
+		t.Fatalf("StepStats reports %d components, want %d", len(stats), want)
+	}
+	var cadencedSkipped, cadencedTicks uint64
+	for _, cs := range stats {
+		if cs.Steps+cs.Skipped != ticks {
+			t.Errorf("%s: steps %d + skipped %d != %d processed ticks",
+				cs.Name, cs.Steps, cs.Skipped, uint64(ticks))
+		}
+		if cs.Kind == "cadenced" {
+			cadencedSkipped += cs.Skipped
+			cadencedTicks += ticks
+		}
+		switch {
+		case cs.Name == "wsn.network":
+			if cs.Kind != "on-demand" {
+				t.Errorf("wsn.network kind = %q, want on-demand", cs.Kind)
+			}
+			// Woken at least on the 2-second broadcaster ticks, and idle
+			// on at least the ticks where no producer ran at all.
+			if cs.Steps < 3150 || cs.Steps >= ticks {
+				t.Errorf("wsn.network stepped %d of %d ticks, want in [3150, %d)",
+					cs.Steps, uint64(ticks), uint64(ticks))
+			}
+		case everyTick[cs.Name]:
+			if cs.Kind != "every-tick" {
+				t.Errorf("%s kind = %q, want every-tick", cs.Name, cs.Kind)
+			}
+			if cs.Steps != ticks || cs.Skipped != 0 {
+				t.Errorf("%s stepped %d/%d ticks (skipped %d), want all",
+					cs.Name, cs.Steps, uint64(ticks), cs.Skipped)
+			}
+		default:
+			want, ok := wantSteps[cs.Name]
+			if !ok {
+				t.Errorf("unexpected component %q in StepStats", cs.Name)
+				continue
+			}
+			if cs.Kind != "cadenced" {
+				t.Errorf("%s kind = %q, want cadenced", cs.Name, cs.Kind)
+			}
+			if cs.Steps != want {
+				t.Errorf("%s stepped %d ticks, want exactly %d", cs.Name, cs.Steps, want)
+			}
+		}
+	}
+	// The headline: across the trial the wheel skipped over half of the
+	// component-ticks that per-tick polling of the motes and broadcasters
+	// would have paid (57.6% at the §IV-B periods).
+	if cadencedSkipped*2 < cadencedTicks {
+		t.Errorf("scheduler skipped only %d of %d cadenced component-ticks",
+			cadencedSkipped, cadencedTicks)
+	}
+}

@@ -215,6 +215,14 @@ func (p Panel) Exchange(flowLpm, tMix, tAir float64) PanelResult {
 	}
 	mdotCp := LpmToKgs(flowLpm) * CwWater
 	eps := 1 - math.Exp(-p.UAWater/mdotCp)
+	return p.exchangeWith(mdotCp, eps, tMix, tAir)
+}
+
+// exchangeWith is Exchange past the flow-dependent effectiveness: mdotCp
+// and eps must have been computed exactly as Exchange computes them (the
+// mixing loop caches them against the flow so the per-tick path skips the
+// exp while the flow holds).
+func (p Panel) exchangeWith(mdotCp, eps, tMix, tAir float64) PanelResult {
 	q := eps * mdotCp * (tAir - tMix)
 	tRet := tMix + q/mdotCp
 	// The surface sits below the room air by the air-side film drop:
@@ -246,6 +254,15 @@ type MixingLoop struct {
 	// jumping. NaN until the first step.
 	surf     float64
 	surfTauS float64
+
+	// epsFlow/epsUA key the cached mdotCp and effectiveness: both depend
+	// only on the mixed flow and the panel conductance, and the PID holds
+	// the flow constant for long stretches (saturation, steady state), so
+	// the per-tick exp disappears while the key matches. A miss recomputes
+	// with Exchange's exact arithmetic, so results are bit-identical.
+	// epsFlow starts NaN and never matches until the first step.
+	epsFlow, epsUA float64
+	mdotCp, eps    float64
 }
 
 // defaultSurfTauS is the panel-metal surface time constant in seconds.
@@ -273,6 +290,7 @@ func NewMixingLoop(tank *Tank, supply, recycle *Pump, panel Panel) (*MixingLoop,
 		tRet:     tank.Temp(),
 		surf:     math.NaN(),
 		surfTauS: defaultSurfTauS,
+		epsFlow:  math.NaN(),
 	}, nil
 }
 
@@ -289,7 +307,12 @@ func (l *MixingLoop) Step(tAir, dt float64) {
 		l.last = l.Panel.Exchange(0, tSupp, tAir)
 	} else {
 		l.tMix = (fSupp*tSupp + fRcyc*l.tRet) / l.fMix
-		l.last = l.Panel.Exchange(l.fMix, l.tMix, tAir)
+		if l.fMix != l.epsFlow || l.Panel.UAWater != l.epsUA {
+			l.epsFlow, l.epsUA = l.fMix, l.Panel.UAWater
+			l.mdotCp = LpmToKgs(l.fMix) * CwWater
+			l.eps = 1 - math.Exp(-l.Panel.UAWater/l.mdotCp)
+		}
+		l.last = l.Panel.exchangeWith(l.mdotCp, l.eps, l.tMix, tAir)
 		l.tRet = l.last.TReturn
 		// The supply fraction of the return stream flows back to the tank.
 		if fSupp > 0 {

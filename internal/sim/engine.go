@@ -12,6 +12,7 @@ import (
 type Env struct {
 	clock *Clock
 	rng   *RNG
+	dtS   float64
 }
 
 // NewEnv returns an Env over the given clock and RNG. The engine builds
@@ -19,15 +20,16 @@ type Env struct {
 // benchmarks can drive a single component's Step directly (e.g. the
 // AllocsPerRun pins on the tick kernel).
 func NewEnv(clock *Clock, rng *RNG) *Env {
-	return &Env{clock: clock, rng: rng}
+	return &Env{clock: clock, rng: rng, dtS: clock.Step().Seconds()}
 }
 
 // Now returns the simulated time at the start of the current step.
 func (e *Env) Now() time.Time { return e.clock.Now() }
 
 // Dt returns the step duration as seconds. Physical models integrate with
-// this value.
-func (e *Env) Dt() float64 { return e.clock.Step().Seconds() }
+// this value. The Duration-to-seconds conversion is done once at Env
+// construction, not per call — the step never changes over a clock's life.
+func (e *Env) Dt() float64 { return e.dtS }
 
 // Step returns the step duration.
 func (e *Env) Step() time.Duration { return e.clock.Step() }
@@ -42,8 +44,9 @@ func (e *Env) Elapsed() time.Duration { return e.clock.Elapsed() }
 func (e *Env) RNG() *RNG { return e.rng }
 
 // Component is a simulation participant. Step is called once per tick in
-// registration order. Components that need a different cadence keep their
-// own accumulators.
+// registration order. Components that need a coarser cadence either keep
+// their own accumulators, or implement Cadenced and let the engine's
+// due-wheel skip the ticks between their due points entirely.
 type Component interface {
 	// Name identifies the component in error messages and traces.
 	Name() string
@@ -73,12 +76,25 @@ var ErrStopped = errors.New("sim: stopped by condition")
 // are stepped in the order they were added; the order is the data-flow
 // order of the physical system (environment → plant → sensors → network →
 // controllers → actuators).
+//
+// Scheduling is cadence-aware: every-tick components (the default) are
+// stepped on every tick, components implementing Cadenced sit on a
+// due-wheel and are stepped only on the ticks their own accumulators say
+// are due, and AddOnDemand components run only on ticks they were woken
+// for. Within any single tick the active components still step in
+// registration order, so the schedule is observationally identical to
+// stepping everything every tick — skipped ticks are exactly the ticks on
+// which the component would have done nothing.
 type Engine struct {
-	clock      *Clock
-	rng        *RNG
-	components []Component
-	timeline   *Timeline
-	stopFn     func(env *Env) bool
+	clock    *Clock
+	rng      *RNG
+	timeline *Timeline
+	stopFn   func(env *Env) bool
+	dtS      float64
+
+	entries []*entry // every registered component, registration order
+	always  []*entry // every-tick and on-demand entries, registration order
+	wheel   dueWheel // cadenced entries, hashed by due tick
 }
 
 // NewEngine returns an engine over the given clock and seed.
@@ -87,6 +103,7 @@ func NewEngine(clock *Clock, seed uint64) *Engine {
 		clock:    clock,
 		rng:      NewRNG(seed),
 		timeline: NewTimeline(),
+		dtS:      clock.Step().Seconds(),
 	}
 }
 
@@ -100,13 +117,35 @@ func (e *Engine) RNG() *RNG { return e.rng }
 // events (door openings, setpoint changes, ...).
 func (e *Engine) Timeline() *Timeline { return e.timeline }
 
-// Add registers components in step order.
+// Add registers components in step order. A component that also
+// implements Cadenced is placed on the due-wheel and stepped only on its
+// due ticks; everything else is stepped every tick. Register components
+// between runs, not from inside a Step call.
 func (e *Engine) Add(cs ...Component) {
-	e.components = append(e.components, cs...)
+	for _, c := range cs {
+		ent := &entry{
+			c:           c,
+			idx:         len(e.entries),
+			regTick:     e.clock.Tick(),
+			doneThrough: e.clock.Tick(),
+		}
+		e.entries = append(e.entries, ent)
+		if cad, ok := c.(Cadenced); ok {
+			ent.cad = cad
+			ent.nextDue = ent.doneThrough + cad.NextDue(e.dtS) - 1
+			e.wheel.push(ent, e.clock.Tick())
+		} else {
+			e.always = append(e.always, ent)
+		}
+	}
 }
 
 // SetStopCondition installs a predicate checked after every tick; when it
-// returns true Run stops early with ErrStopped.
+// returns true Run stops early with ErrStopped. The predicate sees
+// every-tick components fully stepped; cadenced components are caught up
+// to their last due tick only (their internal state flushes when the run
+// returns). A stop condition that needs exact per-tick state of a
+// cadenced component should register that component with Add instead.
 func (e *Engine) SetStopCondition(fn func(env *Env) bool) {
 	e.stopFn = fn
 }
@@ -149,26 +188,96 @@ func (e *Engine) RunFor(ctx context.Context, d time.Duration) error {
 	return e.RunTicks(ctx, ticks)
 }
 
-// RunTicks advances the simulation by n ticks.
+// RunTicks advances the simulation by n ticks. On every return path —
+// completion, stop condition, cancellation — cadenced components are
+// caught up through the last executed tick, so post-run observers read
+// exactly the state per-tick stepping would have produced.
 func (e *Engine) RunTicks(ctx context.Context, n uint64) error {
-	env := &Env{clock: e.clock, rng: e.rng}
+	env := NewEnv(e.clock, e.rng)
 	ctxCheckEvery := e.ctxCheckEvery()
 	for i := uint64(0); i < n; i++ {
 		if i%ctxCheckEvery == 0 {
 			select {
 			case <-ctx.Done():
+				e.catchUp(env)
 				return fmt.Errorf("sim: run: %w", ctx.Err())
 			default:
 			}
 		}
 		e.timeline.fire(env)
-		for _, c := range e.components {
-			c.Step(env)
-		}
+		e.stepDue(env)
 		e.clock.Advance()
 		if e.stopFn != nil && e.stopFn(env) {
+			e.catchUp(env)
 			return ErrStopped
 		}
 	}
+	e.catchUp(env)
 	return nil
+}
+
+// stepDue advances every component scheduled for the current tick: the
+// wheel entries due now, merged with the every-tick list in registration
+// order.
+func (e *Engine) stepDue(env *Env) {
+	tick := e.clock.Tick()
+	var due []*entry
+	if e.wheel.count != 0 {
+		due = e.wheel.takeDue(tick)
+	}
+	always := e.always
+	ai, di := 0, 0
+	for ai < len(always) && di < len(due) {
+		if always[ai].idx < due[di].idx {
+			e.stepAlways(always[ai], env)
+			ai++
+		} else {
+			e.stepWheel(due[di], env, tick)
+			di++
+		}
+	}
+	for ; ai < len(always); ai++ {
+		e.stepAlways(always[ai], env)
+	}
+	for ; di < len(due); di++ {
+		e.stepWheel(due[di], env, tick)
+	}
+}
+
+func (e *Engine) stepAlways(ent *entry, env *Env) {
+	if ent.onDemand {
+		if !ent.woken {
+			return
+		}
+		ent.woken = false
+	}
+	ent.c.Step(env)
+	ent.steps++
+}
+
+// stepWheel catches a due entry up through the current tick (one StepN
+// call covering every tick since its last activation), then reschedules
+// it at its next due tick.
+func (e *Engine) stepWheel(ent *entry, env *Env, tick uint64) {
+	ent.cad.StepN(env, tick+1-ent.doneThrough)
+	ent.doneThrough = tick + 1
+	ent.steps++
+	ent.nextDue = tick + ent.cad.NextDue(e.dtS)
+	e.wheel.push(ent, tick)
+}
+
+// catchUp flushes every wheel entry's per-tick internal state (idle
+// battery draw, accumulators) through the last executed tick, so post-run
+// observers (battery gauges, example snapshots) read exactly the state
+// per-tick polling would have produced. Nothing fires during catch-up:
+// every flushed tick is strictly before the entry's next due tick.
+func (e *Engine) catchUp(env *Env) {
+	now := e.clock.Tick()
+	for _, ent := range e.entries {
+		if ent.cad == nil || ent.doneThrough >= now {
+			continue
+		}
+		ent.cad.StepN(env, now-ent.doneThrough)
+		ent.doneThrough = now
+	}
 }

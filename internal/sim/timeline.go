@@ -36,8 +36,13 @@ func (tl *Timeline) At(t time.Time, name string, fn func(env *Env)) {
 // Len reports the number of pending events.
 func (tl *Timeline) Len() int { return tl.h.Len() }
 
-// fire runs all events due at or before env.Now().
+// fire runs all events due at or before env.Now(). The current time is
+// only materialised when events are pending, keeping the empty-timeline
+// per-tick cost to a length check.
 func (tl *Timeline) fire(env *Env) {
+	if tl.h.Len() == 0 {
+		return
+	}
 	now := env.Now()
 	for tl.h.Len() > 0 && !tl.h[0].At.After(now) {
 		ev, ok := heap.Pop(&tl.h).(*Event)

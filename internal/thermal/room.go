@@ -44,13 +44,18 @@ type VentInput struct {
 	SupplyCO2PPM float64
 }
 
-// derivedState caches the psychrometric quantities that every consumer of
-// the room (the control glue, the sensor read callbacks, the trace
-// recorder) derives from the prognostic zone state. The zone state only
-// changes inside Step, so each quantity is computed exactly once per tick
-// — with the same functions and the same argument values the on-demand
-// accessors used, keeping every cached read bit-identical to a fresh
-// computation.
+// derivedState caches the psychrometric quantities that consumers of the
+// room (the control glue, the sensor read callbacks, the trace recorder)
+// derive from the prognostic zone state. The zone state only changes
+// inside Step, so each quantity is computed at most once per tick — with
+// the same functions and the same argument values a fresh computation
+// would use, keeping every cached read bit-identical.
+//
+// The averages are plain sums and stay eager; the dew-point and
+// relative-humidity conversions cost an exp/log each and are computed
+// lazily on first access after a Step, because most ticks nobody reads
+// them: the glue only needs a zone dew point when condensation is
+// plausible, and the sensor callbacks only run on their sampling ticks.
 type derivedState struct {
 	zoneDew [NumZones]float64 // per-zone dew point, °C
 	zoneRH  [NumZones]float64 // per-zone relative humidity, %
@@ -59,6 +64,10 @@ type derivedState struct {
 	avgW   float64 // room-average humidity ratio, kg/kg
 	avgDew float64 // dew point of the average state, °C
 	avgCO2 float64 // room-average CO₂, ppm
+
+	dewValid    [NumZones]bool
+	rhValid     [NumZones]bool
+	avgDewValid bool
 }
 
 // Room is the four-zone laboratory model. It implements sim.Component;
@@ -103,15 +112,13 @@ func NewRoom(cfg Config, initial psychro.State, initialCO2 float64) (*Room, erro
 	return r, nil
 }
 
-// recomputeDerived refreshes the per-tick derived-state cache from the
-// current zone state. Called whenever r.zones changes (construction and
-// the end of every Step).
+// recomputeDerived refreshes the eager averages and invalidates the lazy
+// psychrometric conversions. Called whenever r.zones changes
+// (construction and the end of every Step).
 func (r *Room) recomputeDerived() {
 	var sumT, sumW, sumCO2 float64
 	for i := range r.zones {
 		z := r.zones[i]
-		r.der.zoneDew[i] = z.DewPoint()
-		r.der.zoneRH[i] = z.RH()
 		sumT += z.T
 		sumW += z.W
 		sumCO2 += z.CO2PPM
@@ -119,7 +126,9 @@ func (r *Room) recomputeDerived() {
 	r.der.avgT = sumT / NumZones
 	r.der.avgW = sumW / NumZones
 	r.der.avgCO2 = sumCO2 / NumZones
-	r.der.avgDew = psychro.DewPointFromHumidityRatio(r.der.avgW, psychro.AtmPressure)
+	r.der.dewValid = [NumZones]bool{}
+	r.der.rhValid = [NumZones]bool{}
+	r.der.avgDewValid = false
 }
 
 // NewRoomAtOutdoor builds a room initially in equilibrium with the
@@ -153,27 +162,43 @@ func (r *Room) AverageT() float64 { return r.der.avgT }
 func (r *Room) AverageW() float64 { return r.der.avgW }
 
 // AverageDewPoint returns the dew point (°C) of the average room state.
-// Cached per tick.
-func (r *Room) AverageDewPoint() float64 { return r.der.avgDew }
+// Computed at most once per tick, on first access.
+func (r *Room) AverageDewPoint() float64 {
+	if !r.der.avgDewValid {
+		r.der.avgDew = psychro.DewPointFromHumidityRatio(r.der.avgW, psychro.AtmPressure)
+		r.der.avgDewValid = true
+	}
+	return r.der.avgDew
+}
 
 // AverageCO2 returns the room-average CO₂ concentration (ppm). Cached per
 // tick.
 func (r *Room) AverageCO2() float64 { return r.der.avgCO2 }
 
 // ZoneDewPoint returns the dew point (°C) of the given subspace — the
-// per-tick cached equivalent of Zone(id).DewPoint().
+// cached equivalent of Zone(id).DewPoint(), computed at most once per
+// tick, on first access.
 func (r *Room) ZoneDewPoint(id ZoneID) float64 {
 	if !id.Valid() {
 		return 0
+	}
+	if !r.der.dewValid[id] {
+		r.der.zoneDew[id] = r.zones[id].DewPoint()
+		r.der.dewValid[id] = true
 	}
 	return r.der.zoneDew[id]
 }
 
 // ZoneRH returns the relative humidity (%) of the given subspace — the
-// per-tick cached equivalent of Zone(id).RH().
+// cached equivalent of Zone(id).RH(), computed at most once per tick, on
+// first access.
 func (r *Room) ZoneRH(id ZoneID) float64 {
 	if !id.Valid() {
 		return 0
+	}
+	if !r.der.rhValid[id] {
+		r.der.zoneRH[id] = r.zones[id].RH()
+		r.der.rhValid[id] = true
 	}
 	return r.der.zoneRH[id]
 }

@@ -93,6 +93,43 @@ func (c Config) Validate() error {
 // sensor messages.
 type zoneObs struct {
 	temp, rh, co2 float64
+
+	// wKeyTemp/wKeyRH/w memoise HumidityRatio(temp, rh): observations only
+	// change when a broadcast arrives, while the control law reruns every
+	// tick. The memo returns the exact float the recomputation would (same
+	// pure function, same arguments), so the control output is
+	// bit-identical; NaN observations never match the key and fall through
+	// to the (NaN-propagating) computation.
+	wKeyTemp, wKeyRH, w float64
+}
+
+// humidityRatio returns HumidityRatio(temp, rh, AtmPressure), cached
+// against the current observation pair.
+func (z *zoneObs) humidityRatio() float64 {
+	if z.temp == z.wKeyTemp && z.rh == z.wKeyRH {
+		return z.w
+	}
+	z.wKeyTemp, z.wKeyRH = z.temp, z.rh
+	z.w = psychro.HumidityRatio(z.temp, z.rh, psychro.AtmPressure)
+	return z.w
+}
+
+// memo2 caches one float64 result keyed on two exact float64 arguments.
+// The zero value is primed with NaN keys, which can never match, so the
+// first lookup always computes.
+type memo2 struct {
+	a, b, out float64
+	valid     bool
+}
+
+func (m *memo2) get(a, b float64, f func(a, b float64) float64) float64 {
+	if m.valid && a == m.a && b == m.b {
+		return m.out
+	}
+	m.a, m.b = a, b
+	m.out = f(a, b)
+	m.valid = true
+	return m.out
 }
 
 // Module is the distributed ventilation controller (Control-V-1/2/3) plus
@@ -111,6 +148,16 @@ type Module struct {
 	airboxDew [NumBoxes]float64
 
 	taTarget float64
+
+	// Exact-argument memos for the psychrometric conversions the per-tick
+	// control law repeats on slowly-changing inputs (see zoneObs).
+	tpDewMemo   memo2 // (TPref, RHPref) -> preferred dew point
+	roomDewMemo memo2 // (avg temp, avg rh) -> room dew point
+	sizingMemo  struct {
+		target            float64
+		wTarget, wTrigger float64
+		valid             bool
+	}
 }
 
 var _ sim.Component = (*Module)(nil)
@@ -198,7 +245,7 @@ func (m *Module) SetPreference(tPref, rhPref float64) {
 // TPDew returns the preferred dew point T_p_dew derived from the occupant
 // preference.
 func (m *Module) TPDew() float64 {
-	return psychro.DewPoint(m.cfg.TPref, m.cfg.RHPref)
+	return m.tpDewMemo.get(m.cfg.TPref, m.cfg.RHPref, psychro.DewPoint)
 }
 
 // TaTarget returns the current airbox outlet dew target T_a,t_dew.
@@ -219,7 +266,7 @@ func (m *Module) RoomDew() float64 {
 	if n == 0 {
 		return math.NaN()
 	}
-	return psychro.DewPoint(tSum/float64(n), rhSum/float64(n))
+	return m.roomDewMemo.get(tSum/float64(n), rhSum/float64(n), psychro.DewPoint)
 }
 
 // PowerW returns the total electrical draw of all boxes (fans + coil
@@ -290,9 +337,10 @@ func (m *Module) Step(env *sim.Env) {
 	for i, b := range m.boxes {
 		b.SetDewTarget(m.taTarget)
 
-		// Fan sizing: F_vent = max{F_humd, F_CO2}.
-		z := m.zones[i]
-		fHumd := m.humidityFlow(z, b)
+		// Fan sizing: F_vent = max{F_humd, F_CO2}. trTarget is the sizing
+		// dew target (the room target, not the depressed box target).
+		z := &m.zones[i]
+		fHumd := m.humidityFlow(z, b, trTarget)
 		fCO2 := m.co2Flow(z)
 		b.SetFanFlow(math.Max(fHumd, fCO2))
 
@@ -314,18 +362,27 @@ func (m *Module) Step(env *sim.Env) {
 
 // humidityFlow sizes the ventilation flow (m³/s) needed to pull the zone
 // humidity ratio to the target within the horizon, given the current box
-// outlet dryness.
-func (m *Module) humidityFlow(z zoneObs, b *Airbox) float64 {
+// outlet dryness. target is the room dew target (min of preference and
+// T_supp) computed once per Step.
+func (m *Module) humidityFlow(z *zoneObs, b *Airbox, target float64) float64 {
 	if math.IsNaN(z.temp) || math.IsNaN(z.rh) {
 		return 0
 	}
-	wZone := psychro.HumidityRatio(z.temp, z.rh, psychro.AtmPressure)
-	target := m.taTargetForSizing()
-	wTarget := psychro.HumidityRatioFromDewPoint(target, psychro.AtmPressure)
+	wZone := z.humidityRatio()
+	// wTarget and wTrigger depend only on the sizing target (the deadband
+	// is fixed), which changes only when a T_supp broadcast moves it; the
+	// memo holds both conversions. A NaN target never matches and
+	// recomputes (propagating NaN exactly as the direct calls would).
+	if !(m.sizingMemo.valid && target == m.sizingMemo.target) {
+		m.sizingMemo.target = target
+		m.sizingMemo.wTarget = psychro.HumidityRatioFromDewPoint(target, psychro.AtmPressure)
+		m.sizingMemo.wTrigger = psychro.HumidityRatioFromDewPoint(target+m.cfg.DewDeadbandK, psychro.AtmPressure)
+		m.sizingMemo.valid = true
+	}
+	wTarget := m.sizingMemo.wTarget
 	// Hysteresis: the zone must exceed the target dew point by the
 	// deadband before dehumidification kicks in.
-	wTrigger := psychro.HumidityRatioFromDewPoint(target+m.cfg.DewDeadbandK, psychro.AtmPressure)
-	if wZone <= wTrigger {
+	if wZone <= m.sizingMemo.wTrigger {
 		return 0
 	}
 	wSupply := b.Outlet().W
@@ -338,19 +395,9 @@ func (m *Module) humidityFlow(z zoneObs, b *Airbox) float64 {
 	return m.cfg.ZoneVolumeM3 * (wZone - wTarget) / denom / m.cfg.HorizonS
 }
 
-// taTargetForSizing returns the room dew target used for the humidity
-// error (the room target, not the depressed box target).
-func (m *Module) taTargetForSizing() float64 {
-	trTarget := m.TPDew()
-	if !math.IsNaN(m.tSupp) && m.tSupp < trTarget {
-		trTarget = m.tSupp
-	}
-	return trTarget
-}
-
 // co2Flow sizes the ventilation flow (m³/s) needed to pull the zone CO₂
 // concentration to the target within the horizon.
-func (m *Module) co2Flow(z zoneObs) float64 {
+func (m *Module) co2Flow(z *zoneObs) float64 {
 	if math.IsNaN(z.co2) || z.co2 <= m.cfg.CO2TargetPPM {
 		return 0
 	}

@@ -55,6 +55,91 @@ func TestNetworkStepZeroAllocLoaded(t *testing.T) {
 	}
 }
 
+// TestNetworkStepMicroBudget pins the contended-tick cost envelope in
+// absolute terms: zero allocations per tick and a nanosecond ceiling
+// generous enough for any CI machine (~50× the measured cost) that only a
+// structural regression — reflection-based sorting, map-keyed type
+// filtering on the delivery path, scratch reallocation — would breach.
+func TestNetworkStepMicroBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro-benchmark")
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		e := sim.NewEngine(sim.MustClock(testStart, time.Second), 11)
+		net, err := NewNetwork(DefaultConfig(), e.RNG().Stream("wsn"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		env := sim.NewEnv(e.Clock(), e.RNG())
+		var nodes []*Node
+		for i := 0; i < 20; i++ {
+			n, err := net.AddNode(NodeID(fmt.Sprintf("bt-%d", i)), PowerBattery)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes = append(nodes, n)
+		}
+		for i := 0; i < 10; i++ {
+			n, err := net.AddNode(NodeID(fmt.Sprintf("ac-%d", i)), PowerAC)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes = append(nodes, n)
+		}
+		// Two bitmask subscribers on the delivery path (one matching, one
+		// filtering), like the real control boards.
+		net.Subscribe(func(Message) {}, MsgTemperature)
+		net.Subscribe(func(Message) {}, MsgCO2)
+		for _, n := range nodes {
+			_ = net.Broadcast(n, Message{Type: MsgTemperature})
+		}
+		net.Step(env) // warm-up tick grows pending and scratch buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, n := range nodes {
+				_ = net.Broadcast(n, Message{Type: MsgTemperature})
+			}
+			net.Step(env)
+		}
+	})
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Errorf("contended tick allocates %d/op, want 0", a)
+	}
+	const maxNsPerOp = 250_000 // 30 packets/tick measures ~3-5 µs
+	if ns := res.NsPerOp(); ns > maxNsPerOp {
+		t.Errorf("contended tick costs %d ns/op, budget %d", ns, maxNsPerOp)
+	}
+}
+
+// TestSubscribeWideTypeSpillover covers the subscription filter's map
+// spillover: types outside the 64-bit dense mask still filter correctly,
+// and a wide subscription does not accidentally match dense types.
+func TestSubscribeWideTypeSpillover(t *testing.T) {
+	n, e := newTestNetwork(t, Config{AirtimeS: 0.0043, CCABlindS: 0, LossFloor: 0, Desync: false})
+	env := sim.NewEnv(e.Clock(), e.RNG())
+	node, err := n.AddNode("bt-wide", PowerBattery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wideType = MsgType(200)
+	var wide, dense []float64
+	n.Subscribe(func(m Message) { wide = append(wide, m.Value) }, wideType)
+	n.Subscribe(func(m Message) { dense = append(dense, m.Value) }, MsgTemperature)
+
+	_ = n.Broadcast(node, Message{Type: wideType, Value: 1})
+	n.Step(env)
+	_ = n.Broadcast(node, Message{Type: MsgTemperature, Value: 2})
+	n.Step(env)
+
+	if len(wide) != 1 || wide[0] != 1 {
+		t.Errorf("wide subscriber got %v, want [1]", wide)
+	}
+	if len(dense) != 1 || dense[0] != 2 {
+		t.Errorf("dense subscriber got %v, want [2]", dense)
+	}
+}
+
 // The scratch buffers must resize correctly when the pending set grows and
 // must leave no stale collision flags behind when it shrinks.
 func TestNetworkScratchReuseAcrossLoadChanges(t *testing.T) {

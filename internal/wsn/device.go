@@ -41,7 +41,7 @@ type SensorDevice struct {
 	onSend   func(value float64)
 }
 
-var _ sim.Component = (*SensorDevice)(nil)
+var _ sim.Cadenced = (*SensorDevice)(nil)
 
 // SensorDeviceConfig assembles a SensorDevice.
 type SensorDeviceConfig struct {
@@ -131,15 +131,58 @@ func (d *SensorDevice) OnSample(fn func(value, tsndS float64, transition bool)) 
 func (d *SensorDevice) OnSend(fn func(value float64)) { d.onSend = fn }
 
 // Step implements sim.Component.
-func (d *SensorDevice) Step(env *sim.Env) {
+func (d *SensorDevice) Step(env *sim.Env) { d.StepN(env, 1) }
+
+// StepN implements sim.Cadenced: n consecutive ticks of idle battery
+// draw and sampling-accumulator bookkeeping, bit-identical to n Step
+// calls. The idle drain stays one Battery.Drain per tick — float
+// addition is not associative, so batching k drains into one would
+// change the battery trajectory.
+func (d *SensorDevice) StepN(env *sim.Env, n uint64) {
 	dt := env.Dt()
-	if b := d.node.Battery(); b != nil {
-		b.Drain(energy.IdlePowerW * dt)
+	b := d.node.Battery()
+	idle := energy.IdlePowerW * dt
+	for ; n > 0; n-- {
+		if b != nil {
+			b.Drain(idle)
+		}
+		d.sinceSample += dt
+		for d.sinceSample >= d.tsplS {
+			d.sinceSample -= d.tsplS
+			d.sampleOnce()
+		}
 	}
-	d.sinceSample += dt
-	for d.sinceSample >= d.tsplS {
-		d.sinceSample -= d.tsplS
-		d.sampleOnce()
+}
+
+// NextDue implements sim.Cadenced by replaying the sampling accumulator's
+// exact float arithmetic, so the predicted tick matches per-tick polling
+// bit-for-bit even when dt is not exactly representable (e.g. a 100 ms
+// step). A stalled accumulator (dt below the float resolution of the
+// period — a configuration where per-tick polling would never fire
+// either) parks the device effectively forever.
+func (d *SensorDevice) NextDue(dtS float64) uint64 {
+	return nextAccumDue(d.sinceSample, dtS, d.tsplS)
+}
+
+// neverDue is the wheel distance used for a schedule that cannot fire:
+// far enough to outlast any practical run, small enough that adding it to
+// the current tick cannot overflow.
+const neverDue = uint64(1) << 62
+
+// nextAccumDue replays `since += dt` until it crosses period, returning
+// the number of ticks until the crossing.
+func nextAccumDue(since, dtS, periodS float64) uint64 {
+	var n uint64
+	for {
+		n++
+		next := since + dtS
+		if next >= periodS {
+			return n
+		}
+		if next == since {
+			return neverDue
+		}
+		since = next
 	}
 }
 
@@ -192,7 +235,7 @@ type PeriodicBroadcaster struct {
 	since   float64
 }
 
-var _ sim.Component = (*PeriodicBroadcaster)(nil)
+var _ sim.Cadenced = (*PeriodicBroadcaster)(nil)
 
 // NewPeriodicBroadcaster builds a periodic publisher.
 func NewPeriodicBroadcaster(node *Node, net *Network, typ MsgType, zone int,
@@ -215,11 +258,22 @@ func (p *PeriodicBroadcaster) Name() string {
 }
 
 // Step implements sim.Component.
-func (p *PeriodicBroadcaster) Step(env *sim.Env) {
-	p.since += env.Dt()
-	if p.since < p.periodS {
-		return
+func (p *PeriodicBroadcaster) Step(env *sim.Env) { p.StepN(env, 1) }
+
+// StepN implements sim.Cadenced: n ticks of period accumulation with at
+// most one broadcast per tick, exactly as n Step calls would behave.
+func (p *PeriodicBroadcaster) StepN(env *sim.Env, n uint64) {
+	dt := env.Dt()
+	for ; n > 0; n-- {
+		p.since += dt
+		if p.since >= p.periodS {
+			p.since = 0
+			_ = p.net.Broadcast(p.node, Message{Type: p.typ, Zone: p.zone, Value: p.read()})
+		}
 	}
-	p.since = 0
-	_ = p.net.Broadcast(p.node, Message{Type: p.typ, Zone: p.zone, Value: p.read()})
+}
+
+// NextDue implements sim.Cadenced (see SensorDevice.NextDue).
+func (p *PeriodicBroadcaster) NextDue(dtS float64) uint64 {
+	return nextAccumDue(p.since, dtS, p.periodS)
 }

@@ -1,10 +1,8 @@
 package wsn
 
 import (
-	"cmp"
 	"fmt"
 	"math/rand/v2"
-	"slices"
 
 	"bubblezero/internal/energy"
 	"bubblezero/internal/sim"
@@ -105,6 +103,19 @@ func (n *Network) scratchStarts(k int) []float64 {
 	return n.starts
 }
 
+// scratchOrder returns the reusable index buffer sized to k, initialised
+// to the identity permutation.
+func (n *Network) scratchOrder(k int) []int32 {
+	if cap(n.order) < k {
+		n.order = make([]int32, k)
+	}
+	n.order = n.order[:k]
+	for i := range n.order {
+		n.order[i] = int32(i)
+	}
+	return n.order
+}
+
 // scratchCollided returns the reusable collision-flag buffer sized to k,
 // cleared to false (the collision pass only ever sets flags).
 func (n *Network) scratchCollided(k int) []bool {
@@ -112,9 +123,7 @@ func (n *Network) scratchCollided(k int) []bool {
 		n.collided = make([]bool, k)
 	}
 	n.collided = n.collided[:k]
-	for i := range n.collided {
-		n.collided[i] = false
-	}
+	clear(n.collided)
 	return n.collided
 }
 
@@ -124,9 +133,23 @@ type pendingTx struct {
 	offset float64 // intended start offset within the tick
 }
 
+// subscription is one consumer's type filter. Message types are small
+// consecutive constants, so the filter is a bitmask checked with one AND
+// per delivery instead of a map lookup; types outside the mask range (not
+// used by any in-repo producer) spill into a map so Subscribe accepts any
+// MsgType value.
 type subscription struct {
-	types map[MsgType]bool
-	fn    func(Message)
+	mask uint64           // dense filter for types 0..63
+	wide map[MsgType]bool // spillover for types outside the mask, usually nil
+	fn   func(Message)
+}
+
+// matches reports whether the subscription wants messages of type t.
+func (s *subscription) matches(t MsgType) bool {
+	if uint64(t) < 64 {
+		return s.mask&(1<<uint64(t)) != 0
+	}
+	return s.wide != nil && s.wide[t]
 }
 
 // Network is the shared broadcast medium plus the node registry. It
@@ -142,15 +165,21 @@ type Network struct {
 	subs    []subscription
 	stats   Stats
 
-	// starts and collided are Step's scratch buffers, owned by the network
-	// and regrown only when the pending set outgrows them, so the per-tick
-	// contention resolution performs no allocations.
+	// starts, collided, and order are Step's scratch buffers, owned by the
+	// network and regrown only when the pending set outgrows them, so the
+	// per-tick contention resolution performs no allocations.
 	starts   []float64
 	collided []bool
+	order    []int32
 
 	// sniffer callbacks observe every delivered message (the paper's
 	// TelosB sniffer nodes that log all network packets).
 	sniffers []func(Message)
+
+	// wake, when set, is invoked whenever the pending queue transitions
+	// from empty to non-empty — the hook an on-demand scheduler uses to
+	// step the network exactly on ticks where a producer transmitted.
+	wake func()
 }
 
 var _ sim.Component = (*Network)(nil)
@@ -200,12 +229,27 @@ func (n *Network) NodeCount() int { return len(n.nodes) }
 // fetch data messages from the wireless channel and filter out messages
 // with undesired types."
 func (n *Network) Subscribe(fn func(Message), types ...MsgType) {
-	set := make(map[MsgType]bool, len(types))
+	sub := subscription{fn: fn}
 	for _, t := range types {
-		set[t] = true
+		if uint64(t) < 64 {
+			sub.mask |= 1 << uint64(t)
+		} else {
+			if sub.wide == nil {
+				sub.wide = make(map[MsgType]bool)
+			}
+			sub.wide[t] = true
+		}
 	}
-	n.subs = append(n.subs, subscription{types: set, fn: fn})
+	n.subs = append(n.subs, sub)
 }
+
+// SetWake installs a callback invoked when the pending queue becomes
+// non-empty (once per tick, on the first Broadcast of that tick). The
+// simulation core wires this to the engine's on-demand scheduling so the
+// network is stepped exactly on the ticks where some producer ran —
+// behaviourally identical to the former every-tick Step, which returned
+// immediately when nothing was pending.
+func (n *Network) SetWake(fn func()) { n.wake = fn }
 
 // AddSniffer registers a callback observing every delivered message.
 func (n *Network) AddSniffer(fn func(Message)) {
@@ -235,6 +279,9 @@ func (n *Network) Broadcast(node *Node, msg Message) error {
 	msg.Source = node.id
 	msg.Seq = node.seq
 	n.pending = append(n.pending, pendingTx{msg: msg, node: node})
+	if len(n.pending) == 1 && n.wake != nil {
+		n.wake()
+	}
 	return nil
 }
 
@@ -249,27 +296,47 @@ func (n *Network) Step(env *sim.Env) {
 		return
 	}
 	tick := env.Dt()
+	// Config fields and the RNG handle are hoisted to locals: every
+	// rng/callback call below would otherwise force their reload from the
+	// receiver, and the three passes touch them once or twice per packet.
+	rng := n.rng
+	airtime, blind, loss := n.cfg.AirtimeS, n.cfg.CCABlindS, n.cfg.LossFloor
 
 	// Offset assignment: AC nodes use staggered deterministic slots when
 	// desync is on; everything else picks a uniform random offset (the
-	// CSMA backoff draw).
+	// CSMA backoff draw). The slot width depends only on the tick length
+	// and the AC population, so it is computed once per Step.
+	desync := n.cfg.Desync && n.acCount > 0
+	var slotWidth float64
+	if desync {
+		slotWidth = tick / float64(n.acCount)
+	}
 	for i := range n.pending {
 		tx := &n.pending[i]
-		if n.cfg.Desync && tx.node.class == PowerAC && n.acCount > 0 {
-			slotWidth := tick / float64(n.acCount)
-			jitter := n.rng.Float64() * n.cfg.AirtimeS * 0.1
+		if desync && tx.node.class == PowerAC {
+			jitter := rng.Float64() * airtime * 0.1
 			tx.offset = float64(tx.node.acSlot)*slotWidth + jitter
 		} else {
-			tx.offset = n.rng.Float64() * tick
+			tx.offset = rng.Float64() * tick
 		}
 	}
 	// Offsets are continuous RNG draws, so ties have probability zero and
-	// the sorted order is the same total order sort.Slice produced; the
-	// comparison-function sort avoids the reflection-based swap path and
-	// its per-call closure allocation.
-	slices.SortFunc(n.pending, func(a, b pendingTx) int {
-		return cmp.Compare(a.offset, b.offset)
-	})
+	// any comparison sort yields the same total order. The sort permutes a
+	// small index scratch rather than the pending entries themselves —
+	// pendingTx is several words wide, and with a dozen contenders an
+	// insertion sort of int32 indices beats the generic sort's struct
+	// moves.
+	order := n.scratchOrder(len(n.pending))
+	for i := 1; i < len(order); i++ {
+		oi := order[i]
+		key := n.pending[oi].offset
+		j := i - 1
+		for j >= 0 && n.pending[order[j]].offset > key {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = oi
+	}
 
 	// CSMA deferral pass: a sender that finds the channel busy waits for
 	// the tail of the ongoing frame plus a short random backoff — but only
@@ -279,13 +346,13 @@ func (n *Network) Step(env *sim.Env) {
 	starts := n.scratchStarts(len(n.pending))
 	busyUntil := -1.0
 	lastStart := -1.0
-	for i, tx := range n.pending {
-		start := tx.offset
-		if start < busyUntil && start-lastStart >= n.cfg.CCABlindS {
-			start = busyUntil + n.rng.Float64()*0.002
+	for i, oi := range order {
+		start := n.pending[oi].offset
+		if start < busyUntil && start-lastStart >= blind {
+			start = busyUntil + rng.Float64()*0.002
 		}
 		starts[i] = start
-		if end := start + n.cfg.AirtimeS; end > busyUntil {
+		if end := start + airtime; end > busyUntil {
 			busyUntil = end
 		}
 		lastStart = start
@@ -295,26 +362,27 @@ func (n *Network) Step(env *sim.Env) {
 	// corrupt each other.
 	collided := n.scratchCollided(len(n.pending))
 	for i := 1; i < len(starts); i++ {
-		if starts[i]-starts[i-1] < n.cfg.CCABlindS {
+		if starts[i]-starts[i-1] < blind {
 			collided[i] = true
 			collided[i-1] = true
 		}
 	}
 
-	for i, tx := range n.pending {
+	for i, oi := range order {
+		tx := &n.pending[oi]
 		n.stats.Sent++
 		if collided[i] {
 			n.stats.Collided++
 			continue
 		}
-		if n.cfg.LossFloor > 0 && n.rng.Float64() < n.cfg.LossFloor {
+		if loss > 0 && rng.Float64() < loss {
 			n.stats.LostRandom++
 			continue
 		}
 		n.stats.Delivered++
-		n.stats.TotalDelayS += starts[i] - tx.offset + n.cfg.AirtimeS
-		for _, s := range n.subs {
-			if s.types[tx.msg.Type] {
+		n.stats.TotalDelayS += starts[i] - tx.offset + airtime
+		for si := range n.subs {
+			if s := &n.subs[si]; s.matches(tx.msg.Type) {
 				s.fn(tx.msg)
 			}
 		}
