@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke bench-baseline bench-tick bench-tick-json benchguard ci
+.PHONY: all build test vet race race-fault bench-smoke bench-baseline bench-tick bench-tick-json benchguard ci
 
 all: build
 
@@ -19,6 +19,14 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# Fast race pass over the fault-injection and degradation paths: the
+# fault plan/apply machinery plus core's failure and degradation tests.
+# Runs in seconds (short mode) so the failure paths get race coverage
+# even when the full `race` sweep is skipped locally.
+race-fault:
+	$(GO) test -race -short ./internal/fault
+	$(GO) test -race -short -run 'Fault|Degrad|MoteOffline|Jam|Battery|Chiller|Pump|Survives|FailsSafe|Stops' ./internal/core
 
 # Every benchmark once — correctness of the benchmark harness, not timing.
 bench-smoke:
@@ -54,5 +62,5 @@ bench-tick-json:
 benchguard:
 	sh scripts/benchguard
 
-ci: benchguard vet race bench-smoke bench-tick
+ci: benchguard vet race-fault race bench-smoke bench-tick
 	@echo ci: OK

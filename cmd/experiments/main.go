@@ -37,7 +37,7 @@ func main() {
 
 func run() error {
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, 14, 15, exergy, ablations, all")
+		fig        = flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, 14, 15, resilience, lifetime, exergy, ablations, all")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		hours      = flag.Float64("hours", 5, "networking-scenario length in simulated hours (figs 12-15)")
 		csv        = flag.String("csv", "", "write the figure's underlying series as CSV to this file")
@@ -151,6 +151,30 @@ func run() error {
 			r, err := suite.Fig15(ctx, *seed, d)
 			if err != nil {
 				return "", err
+			}
+			return r.Summary() + "\n", nil
+		}},
+		{"resilience", func(ctx context.Context) (string, error) {
+			r, err := suite.Resilience(ctx, *seed, nil)
+			if err != nil {
+				return "", err
+			}
+			if *csv != "" && *fig == "resilience" {
+				if err := writeCSV(*csv, r.WriteTable); err != nil {
+					return "", err
+				}
+			}
+			return r.Summary() + "\n", nil
+		}},
+		{"lifetime", func(ctx context.Context) (string, error) {
+			r, err := suite.Lifetime(ctx, *seed)
+			if err != nil {
+				return "", err
+			}
+			if *csv != "" && *fig == "lifetime" {
+				if err := writeCSV(*csv, r.WriteTable); err != nil {
+					return "", err
+				}
 			}
 			return r.Summary() + "\n", nil
 		}},

@@ -50,7 +50,8 @@ func main() {
 		log.Fatal(err)
 	}
 	engine := sim.NewEngine(sim.MustClock(core.DefaultConfig().Start, time.Second), 1)
-	engine.Add(unit, room)
+	engine.Register(unit)
+	engine.Register(room)
 	if err := engine.RunFor(ctx, 90*time.Minute); err != nil {
 		log.Fatal(err)
 	}

@@ -24,7 +24,8 @@ func newRig(t *testing.T) (*Unit, *thermal.Room, *sim.Engine) {
 		t.Fatal(err)
 	}
 	e := sim.NewEngine(sim.MustClock(testStart, time.Second), 17)
-	e.Add(unit, room)
+	e.Register(unit)
+	e.Register(room)
 	return unit, room, e
 }
 
@@ -99,7 +100,8 @@ func TestAirConIdleWhenRoomCold(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := sim.NewEngine(sim.MustClock(testStart, time.Second), 17)
-	e.Add(unit, room)
+	e.Register(unit)
+	e.Register(room)
 	if err := e.RunFor(context.Background(), time.Minute); err != nil {
 		t.Fatal(err)
 	}

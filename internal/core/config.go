@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"bubblezero/internal/adaptive"
 	"bubblezero/internal/exergy"
 	"bubblezero/internal/radiant"
 	"bubblezero/internal/thermal"
@@ -66,6 +67,22 @@ type Config struct {
 	SensorNoise bool
 	// TracePeriod is the recorder sampling period (0 disables tracing).
 	TracePeriod time.Duration
+
+	// TsplTemperatureS / TsplHumidityS / TsplCO2S are the bt-device
+	// sampling periods in seconds (§IV-B: 3 s, 2 s, 4 s). All must be
+	// positive.
+	TsplTemperatureS float64
+	TsplHumidityS    float64
+	TsplCO2S         float64
+
+	// DegradeStaleAfter is how long a consumed sensor input may go
+	// without a fresh broadcast before the degradation watchdog declares
+	// it stale and falls back (neighbor substitution, integrator freeze,
+	// condensation safe mode). It must comfortably exceed the adaptive
+	// scheme's maximum transmission gap (T_snd ≤ 32·T_spl, ≈2 minutes)
+	// plus a lost packet, or the watchdog would fire during healthy runs.
+	// Only consulted when a fault plan arms the watchdog.
+	DegradeStaleAfter time.Duration
 }
 
 // DefaultConfig returns the full paper-calibrated system: 18 °C radiant
@@ -94,6 +111,11 @@ func DefaultConfig() Config {
 		PumpMaxPowerW:    12,
 		SensorNoise:      true,
 		TracePeriod:      15 * time.Second,
+
+		TsplTemperatureS:  adaptive.TsplTemperatureS,
+		TsplHumidityS:     adaptive.TsplHumidityS,
+		TsplCO2S:          adaptive.TsplCO2S,
+		DegradeStaleAfter: 5 * time.Minute,
 	}
 }
 
@@ -116,6 +138,16 @@ func (c Config) Validate() error {
 	}
 	if c.TxMode != wsn.ModeAdaptive && c.TxMode != wsn.ModeFixed {
 		return fmt.Errorf("core: invalid TxMode %d", c.TxMode)
+	}
+	if c.Net.LossFloor < 0 || c.Net.LossFloor > 1 {
+		return fmt.Errorf("core: Net.LossFloor must be in [0, 1], got %v", c.Net.LossFloor)
+	}
+	if c.TsplTemperatureS <= 0 || c.TsplHumidityS <= 0 || c.TsplCO2S <= 0 {
+		return fmt.Errorf("core: sensor sampling periods must be > 0 (temp=%v hum=%v co2=%v)",
+			c.TsplTemperatureS, c.TsplHumidityS, c.TsplCO2S)
+	}
+	if c.DegradeStaleAfter <= 0 {
+		return fmt.Errorf("core: DegradeStaleAfter must be > 0, got %v", c.DegradeStaleAfter)
 	}
 	if err := c.Thermal.Validate(); err != nil {
 		return err

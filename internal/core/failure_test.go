@@ -18,7 +18,7 @@ import (
 func TestSurvivesSevereRadioLoss(t *testing.T) {
 	// One packet in three lost: control updates arrive late but the
 	// system must still converge, just possibly slower.
-	s := newSystem(t, func(c *Config) { c.Net.LossFloor = 0.33 })
+	s := newSystem(t, WithLossFloor(0.33))
 	run(t, s, 70*time.Minute)
 	sn := s.Snapshot()
 	if sn.AvgTempC > 25.8 {
@@ -75,7 +75,7 @@ func TestUndersizedVentChillerDegradesGracefully(t *testing.T) {
 	// tank runs warm during pull-down, the coil outlet dew floor rises,
 	// and dehumidification slows — but nothing diverges and the radiant
 	// guard still prevents condensation.
-	s := newSystem(t, func(c *Config) { c.VentCapacityW = 800 })
+	s := newSystem(t, WithVentCapacityW(800))
 	run(t, s, 90*time.Minute)
 	if s.CondensationSeconds() > 10 {
 		t.Errorf("condensation %.0f s with undersized chiller", s.CondensationSeconds())
@@ -94,9 +94,7 @@ func TestUndersizedVentChillerDegradesGracefully(t *testing.T) {
 func TestHotterOutdoorStillConverges(t *testing.T) {
 	// A 31 °C afternoon: ≈50 % more envelope load and a worse chiller
 	// lift, still just inside the plant's ≈1.4 kW capacity envelope.
-	s := newSystem(t, func(c *Config) {
-		c.Thermal.Outdoor = psychro.NewStateDewPoint(31, 27.5, 0)
-	})
+	s := newSystem(t, WithOutdoor(31, 27.5))
 	run(t, s, 90*time.Minute)
 	sn := s.Snapshot()
 	if sn.AvgTempC > 26 {
@@ -120,7 +118,7 @@ func TestDiurnalWeatherHold(t *testing.T) {
 	// band throughout.
 	s := newSystem(t)
 	room := s.Room()
-	s.Engine().Add(sim.ComponentFunc{ID: "weather", Fn: func(env *sim.Env) {
+	s.Engine().Register(sim.ComponentFunc{ID: "weather", Fn: func(env *sim.Env) {
 		h := env.Elapsed().Hours() * 8 // compress 24 h into 3 h
 		// 28–31 °C swing: the upper bound of the plant's capacity
 		// envelope (panels max out near 31 °C outdoor with UA = 220 W/K).
@@ -151,7 +149,7 @@ func TestDiurnalWeatherHold(t *testing.T) {
 }
 
 func TestSensorNoiseOffStillWorks(t *testing.T) {
-	s := newSystem(t, func(c *Config) { c.SensorNoise = false })
+	s := newSystem(t, WithSensorNoise(false))
 	run(t, s, 45*time.Minute)
 	if got := s.Room().AverageT(); got > 25.5 {
 		t.Errorf("noiseless run temp = %.2f", got)

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"bubblezero/internal/fault"
+	"bubblezero/internal/sim"
+	"bubblezero/internal/wsn"
+)
+
+// faultTarget adapts the assembled system onto the small injection
+// surfaces a fault.Plan acts through.
+func (s *System) faultTarget() fault.Target {
+	return fault.Target{
+		Sensor: func(node string) fault.SensorTarget {
+			dev := s.deviceByID[wsn.NodeID(node)]
+			if dev == nil {
+				return nil
+			}
+			return &deviceFaultTarget{dev: dev, reg: s.deviceReg[wsn.NodeID(node)]}
+		},
+		Network: s.net, // *wsn.Network satisfies fault.NetworkTarget directly
+		Plant:   plantFaultTarget{s},
+	}
+}
+
+// deviceFaultTarget is one mote's fault surface: its sensor device for
+// channel faults, its battery for energy faults, and its engine
+// registration for whole-mote outages.
+type deviceFaultTarget struct {
+	dev *wsn.SensorDevice
+	reg *sim.Registration
+}
+
+func (t *deviceFaultTarget) DepleteBattery() {
+	b := t.dev.Node().Battery()
+	b.Drain(b.RemainingJ())
+}
+
+func (t *deviceFaultTarget) ScaleBatteryRemaining(frac float64) {
+	t.dev.Node().Battery().ScaleRemaining(frac)
+}
+
+func (t *deviceFaultTarget) SetStuck(on bool) { t.dev.SetStuck(on) }
+
+func (t *deviceFaultTarget) SetDrift(ratePerS float64) { t.dev.SetDrift(ratePerS) }
+
+func (t *deviceFaultTarget) SetOffline(on bool) {
+	if on {
+		t.reg.Suspend()
+	} else {
+		t.reg.Resume()
+	}
+}
+
+// plantFaultTarget maps fault.Loop names onto the two tanks and their
+// loops' pumps.
+type plantFaultTarget struct{ s *System }
+
+func (t plantFaultTarget) SetChillerTripped(loop fault.Loop, on bool) {
+	if loop == fault.LoopRadiant {
+		t.s.radiantTank.SetChillerTripped(on)
+		return
+	}
+	t.s.ventTank.SetChillerTripped(on)
+}
+
+func (t plantFaultTarget) SetPumpDerate(loop fault.Loop, frac float64) {
+	if loop == fault.LoopRadiant {
+		t.s.radiantMod.DeratePumps(frac)
+		return
+	}
+	t.s.ventMod.DeratePumps(frac)
+}

@@ -9,6 +9,7 @@ import (
 
 	"bubblezero/internal/comfort"
 	"bubblezero/internal/energy"
+	"bubblezero/internal/fault"
 	"bubblezero/internal/hydraulic"
 	"bubblezero/internal/psychro"
 	"bubblezero/internal/radiant"
@@ -34,9 +35,13 @@ type System struct {
 
 	devices      []*wsn.SensorDevice
 	deviceByID   map[wsn.NodeID]*wsn.SensorDevice
+	deviceReg    map[wsn.NodeID]*sim.Registration
 	broadcasters []*wsn.PeriodicBroadcaster
 	rec          *trace.Recorder
 	ts           traceSeries
+
+	plan  *fault.Plan
+	watch *watchdog
 
 	copRadiant energy.COP
 	copVent    energy.COP
@@ -90,9 +95,23 @@ func openTraceSeries(rec *trace.Recorder) traceSeries {
 	return ts
 }
 
-// NewSystem assembles and wires the full deployment.
-func NewSystem(cfg Config) (*System, error) {
+// NewSystem assembles and wires the full deployment. Options are applied
+// in order: config-editing options (WithSeed, WithLossFloor, …) mutate
+// cfg before validation, WithRecorder substitutes the trace recorder,
+// and WithFaultPlan schedules fault injections on the timeline and arms
+// the degradation watchdog.
+func NewSystem(cfg Config, opts ...Option) (*System, error) {
+	var o sysOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	for _, edit := range o.cfgEdits {
+		edit(&cfg)
+	}
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := o.plan.Validate(); err != nil {
 		return nil, err
 	}
 	clock, err := sim.NewClock(cfg.Start, cfg.Step)
@@ -150,6 +169,10 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, err
 	}
 
+	rec := o.rec
+	if rec == nil {
+		rec = trace.NewRecorder()
+	}
 	s := &System{
 		cfg:         cfg,
 		engine:      engine,
@@ -159,7 +182,13 @@ func NewSystem(cfg Config) (*System, error) {
 		ventTank:    ventTank,
 		radiantMod:  radiantMod,
 		ventMod:     ventMod,
-		rec:         trace.NewRecorder(),
+		rec:         rec,
+		plan:        o.plan,
+	}
+	if !o.plan.Empty() {
+		// Armed before buildTopology so the subscription callbacks see a
+		// non-nil watchdog and report freshness to it.
+		s.watch = newWatchdog(s)
 	}
 	for p := range s.wSurfMemo {
 		s.wSurfMemo[p].tSurf = math.NaN()
@@ -177,27 +206,44 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 
 	// Component order is the data-flow order: sensor devices sample and
-	// enqueue, the network delivers to the control boards, the modules
-	// actuate their hydraulics, and the glue pushes the plant forward.
+	// enqueue, the network delivers to the control boards, the watchdog
+	// (when armed) judges freshness, the modules actuate their
+	// hydraulics, and the glue pushes the plant forward.
 	//
 	// Scheduling is cadence-aware: devices and broadcasters implement
-	// sim.Cadenced, so Add places them on the engine's due-wheel and they
-	// are stepped only on sampling/broadcast ticks; the network runs
+	// sim.Cadenced, so Register places them on the engine's due-wheel and
+	// they are stepped only on sampling/broadcast ticks; the network runs
 	// on demand, woken exactly on ticks where some producer transmitted
 	// (its Step was a no-op on the other ticks). The controllers, glue,
 	// and room integrate over dt every tick and stay on the always path.
+	//
+	// Devices register faultable so a fault plan can suspend and resume
+	// them (KindMoteOffline); their registrations are indexed by node id.
+	s.deviceReg = make(map[wsn.NodeID]*sim.Registration, len(s.devices))
 	for _, d := range s.devices {
-		engine.Add(d)
+		s.deviceReg[d.Node().ID()] = engine.Register(d, sim.WithFaultable())
 	}
 	for _, b := range s.broadcasters {
-		engine.Add(b)
+		engine.Register(b)
 	}
-	net.SetWake(engine.AddOnDemand(net))
-	engine.Add(radiantMod, ventMod)
-	engine.Add(sim.ComponentFunc{ID: "core.glue", Fn: s.glue})
-	engine.Add(room)
+	net.SetWake(engine.Register(net, sim.WithOnDemand()).Wake)
+	if s.watch != nil {
+		engine.Register(sim.ComponentFunc{ID: "core.watchdog", Fn: s.watch.step})
+	}
+	engine.Register(radiantMod)
+	engine.Register(ventMod)
+	engine.Register(sim.ComponentFunc{ID: "core.glue", Fn: s.glue})
+	engine.Register(room)
+
+	if err := s.plan.Apply(engine.Timeline(), cfg.Start, s.faultTarget()); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
+
+// FaultPlan returns the fault plan the system was armed with (nil when
+// running fault-free).
+func (s *System) FaultPlan() *fault.Plan { return s.plan }
 
 // Engine returns the simulation engine (for scheduling scenario events).
 func (s *System) Engine() *sim.Engine { return s.engine }

@@ -11,13 +11,9 @@ import (
 	"bubblezero/internal/wsn"
 )
 
-func newSystem(t *testing.T, mutate ...func(*Config)) *System {
+func newSystem(t *testing.T, opts ...Option) *System {
 	t.Helper()
-	cfg := DefaultConfig()
-	for _, m := range mutate {
-		m(&cfg)
-	}
-	s, err := NewSystem(cfg)
+	s, err := NewSystem(DefaultConfig(), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,31 +31,46 @@ func TestConfigValidate(t *testing.T) {
 	if err := DefaultConfig().Validate(); err != nil {
 		t.Fatalf("default config invalid: %v", err)
 	}
-	mutations := []func(*Config){
-		func(c *Config) { c.Step = 0 },
-		func(c *Config) { c.RadiantTankL = 0 },
-		func(c *Config) { c.VentTankL = 0 },
-		func(c *Config) { c.RadiantCapacityW = 0 },
-		func(c *Config) { c.VentCapacityW = 0 },
-		func(c *Config) { c.PanelUAWater = 0 },
-		func(c *Config) { c.PanelHAAir = 0 },
-		func(c *Config) { c.PumpMaxFlowLpm = 0 },
-		func(c *Config) { c.TxMode = 0 },
-		func(c *Config) { c.Thermal.ZoneVolume = 0 },
-		func(c *Config) { c.Radiant.FMixMax = 0 },
-		func(c *Config) { c.Vent.HorizonS = 0 },
-		func(c *Config) { c.Net.AirtimeS = 0 },
-		func(c *Config) { c.Chiller.Eta = 0 },
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero step", func(c *Config) { c.Step = 0 }},
+		{"zero radiant tank", func(c *Config) { c.RadiantTankL = 0 }},
+		{"zero vent tank", func(c *Config) { c.VentTankL = 0 }},
+		{"zero radiant capacity", func(c *Config) { c.RadiantCapacityW = 0 }},
+		{"zero vent capacity", func(c *Config) { c.VentCapacityW = 0 }},
+		{"zero panel UA", func(c *Config) { c.PanelUAWater = 0 }},
+		{"zero panel HA", func(c *Config) { c.PanelHAAir = 0 }},
+		{"zero pump flow", func(c *Config) { c.PumpMaxFlowLpm = 0 }},
+		{"invalid tx mode", func(c *Config) { c.TxMode = 0 }},
+		{"zero zone volume", func(c *Config) { c.Thermal.ZoneVolume = 0 }},
+		{"zero fmix max", func(c *Config) { c.Radiant.FMixMax = 0 }},
+		{"zero horizon", func(c *Config) { c.Vent.HorizonS = 0 }},
+		{"zero airtime", func(c *Config) { c.Net.AirtimeS = 0 }},
+		{"zero chiller eta", func(c *Config) { c.Chiller.Eta = 0 }},
+		{"negative loss floor", func(c *Config) { c.Net.LossFloor = -0.1 }},
+		{"loss floor above one", func(c *Config) { c.Net.LossFloor = 1.5 }},
+		{"zero temp cadence", func(c *Config) { c.TsplTemperatureS = 0 }},
+		{"negative temp cadence", func(c *Config) { c.TsplTemperatureS = -3 }},
+		{"zero humidity cadence", func(c *Config) { c.TsplHumidityS = 0 }},
+		{"negative humidity cadence", func(c *Config) { c.TsplHumidityS = -2 }},
+		{"zero co2 cadence", func(c *Config) { c.TsplCO2S = 0 }},
+		{"negative co2 cadence", func(c *Config) { c.TsplCO2S = -4 }},
+		{"zero stale budget", func(c *Config) { c.DegradeStaleAfter = 0 }},
+		{"negative stale budget", func(c *Config) { c.DegradeStaleAfter = -time.Minute }},
 	}
-	for i, m := range mutations {
-		cfg := DefaultConfig()
-		m(&cfg)
-		if err := cfg.Validate(); err == nil {
-			t.Errorf("mutation %d should invalidate", i)
-		}
-		if _, err := NewSystem(cfg); err == nil {
-			t.Errorf("mutation %d accepted by NewSystem", i)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("Validate accepted the bad config")
+			}
+			if _, err := NewSystem(cfg); err == nil {
+				t.Error("NewSystem accepted the bad config")
+			}
+		})
 	}
 }
 
@@ -275,7 +286,7 @@ func TestAdaptiveSavesEnergyVsFixed(t *testing.T) {
 	// pull-down transient legitimately keeps adaptive devices at short
 	// periods, so the saving materialises once the room settles.
 	used := func(mode wsn.TxMode) float64 {
-		s := newSystem(t, func(c *Config) { c.TxMode = mode })
+		s := newSystem(t, WithTxMode(mode))
 		run(t, s, time.Hour)
 		var before float64
 		for _, d := range s.Devices() {
@@ -328,7 +339,7 @@ func TestDeterministicUnderSameSeed(t *testing.T) {
 
 func TestDifferentSeedsDiffer(t *testing.T) {
 	a := newSystem(t)
-	b := newSystem(t, func(c *Config) { c.Seed = 99 })
+	b := newSystem(t, WithSeed(99))
 	run(t, a, 10*time.Minute)
 	run(t, b, 10*time.Minute)
 	if a.Snapshot().AvgTempC == b.Snapshot().AvgTempC &&

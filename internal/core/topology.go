@@ -87,7 +87,7 @@ func (s *System) buildTopology() error {
 		tempModel := sensor.SHT75Temperature().WithRandomBias(noise(fmt.Sprintf("bias-temp%d", z)))
 		tempRNG := noise(fmt.Sprintf("temp%d", z))
 		if err := addSensor(fmt.Sprintf("bt-temp-%d", z+1), wsn.MsgTemperature, z,
-			adaptive.TsplTemperatureS, func() float64 {
+			s.cfg.TsplTemperatureS, func() float64 {
 				return maybe(tempModel, s.room.Zone(thermal.ZoneID(z)).T, tempRNG)
 			}); err != nil {
 			return err
@@ -95,7 +95,7 @@ func (s *System) buildTopology() error {
 		rhModel := sensor.SHT75Humidity().WithRandomBias(noise(fmt.Sprintf("bias-rh%d", z)))
 		rhRNG := noise(fmt.Sprintf("rh%d", z))
 		if err := addSensor(fmt.Sprintf("bt-hum-%d", z+1), wsn.MsgHumidity, z,
-			adaptive.TsplHumidityS, func() float64 {
+			s.cfg.TsplHumidityS, func() float64 {
 				return maybe(rhModel, s.room.ZoneRH(thermal.ZoneID(z)), rhRNG)
 			}); err != nil {
 			return err
@@ -103,7 +103,7 @@ func (s *System) buildTopology() error {
 		co2Model := sensor.CO2NDIR().WithRandomBias(noise(fmt.Sprintf("bias-co2%d", z)))
 		co2RNG := noise(fmt.Sprintf("co2%d", z))
 		if err := addSensor(fmt.Sprintf("bt-co2-%d", z+1), wsn.MsgCO2, z,
-			adaptive.TsplCO2S, func() float64 {
+			s.cfg.TsplCO2S, func() float64 {
 				return maybe(co2Model, s.room.Zone(thermal.ZoneID(z)).CO2PPM, co2RNG)
 			}); err != nil {
 			return err
@@ -119,7 +119,7 @@ func (s *System) buildTopology() error {
 		rhModel := sensor.SHT75Humidity().WithRandomBias(noise(fmt.Sprintf("bias-pdrh%d", p)))
 		rng := noise(fmt.Sprintf("paneldew%d", p))
 		if err := addSensor(fmt.Sprintf("bt-paneldew-%d", p+1), wsn.MsgPanelDew, -1,
-			adaptive.TsplHumidityS, func() float64 {
+			s.cfg.TsplHumidityS, func() float64 {
 				zs := radiant.PanelZones(p)
 				dew := -100.0
 				for _, z := range zs {
@@ -150,7 +150,7 @@ func (s *System) buildTopology() error {
 		rhT, rhW, rhP := math.NaN(), math.NaN(), math.NaN()
 		var rhOut float64
 		if err := addSensor(fmt.Sprintf("bt-boxdew-%d", b+1), wsn.MsgAirboxDew, b,
-			adaptive.TsplHumidityS, func() float64 {
+			s.cfg.TsplHumidityS, func() float64 {
 				out := s.ventMod.Box(b).Outlet()
 				if out.T != rhT || out.W != rhW || out.P != rhP {
 					rhT, rhW, rhP = out.T, out.W, out.P
@@ -214,7 +214,39 @@ func (s *System) buildTopology() error {
 		}
 	}
 
-	// Consumer-side filtering (the type-addressed broadcast bus).
+	// Consumer-side filtering (the type-addressed broadcast bus). When a
+	// fault plan armed the degradation watchdog, every consumed delivery
+	// also refreshes its staleness clock; fault-free systems keep the
+	// original callbacks so the hot path carries no extra branch.
+	if w := s.watch; w != nil {
+		s.net.Subscribe(func(m wsn.Message) {
+			s.radiantMod.ObserveZoneTemp(m.Zone, m.Value)
+			s.ventMod.ObserveZoneTemp(m.Zone, m.Value)
+			w.noteZoneTemp(m.Zone, m.Value)
+		}, wsn.MsgTemperature)
+		s.net.Subscribe(func(m wsn.Message) {
+			s.ventMod.ObserveZoneRH(m.Zone, m.Value)
+			w.noteZoneRH(m.Zone)
+		}, wsn.MsgHumidity)
+		s.net.Subscribe(func(m wsn.Message) {
+			s.ventMod.ObserveZoneCO2(m.Zone, m.Value)
+		}, wsn.MsgCO2)
+		s.net.Subscribe(func(m wsn.Message) {
+			if p, ok := panelDewIndex(string(m.Source)); ok {
+				s.radiantMod.ObservePanelDew(p-1, m.Value)
+				w.notePanelDew(p - 1)
+			}
+		}, wsn.MsgPanelDew)
+		s.net.Subscribe(func(m wsn.Message) {
+			s.ventMod.ObserveSupplyTemp(m.Value)
+			w.noteSupplyTemp()
+		}, wsn.MsgSupplyTemp)
+		s.net.Subscribe(func(m wsn.Message) {
+			s.ventMod.ObserveAirboxDew(m.Zone, m.Value)
+			w.noteBoxDew(m.Zone)
+		}, wsn.MsgAirboxDew)
+		return nil
+	}
 	s.net.Subscribe(func(m wsn.Message) {
 		s.radiantMod.ObserveZoneTemp(m.Zone, m.Value)
 		s.ventMod.ObserveZoneTemp(m.Zone, m.Value)

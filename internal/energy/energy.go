@@ -140,6 +140,20 @@ func (b *Battery) Drain(j float64) {
 	}
 }
 
+// ScaleRemaining rescales the remaining charge to frac of its current
+// value (frac clamped to [0, 1]). Fault plans use it to fast-forward a
+// mote toward exhaustion without simulating months of idle draw: the
+// subsequent discharge still follows the real per-transmission accounting,
+// so duty-cycling schemes are compared on equal footing.
+func (b *Battery) ScaleRemaining(frac float64) {
+	if frac < 0 {
+		frac = 0
+	} else if frac > 1 {
+		frac = 1
+	}
+	b.usedJ = b.capacityJ - b.RemainingJ()*frac
+}
+
 // UsedJ returns the consumed energy.
 func (b *Battery) UsedJ() float64 { return b.usedJ }
 

@@ -74,7 +74,8 @@ func ExergyAudit(ctx context.Context, seed uint64) (*ExergyAuditResult, error) {
 		return nil, err
 	}
 	engine := sim.NewEngine(sim.MustClock(cfg.Start, cfg.Step), seed)
-	engine.Add(unit, room)
+	engine.Register(unit)
+	engine.Register(room)
 	if err := engine.RunFor(ctx, boot); err != nil {
 		return nil, err
 	}

@@ -42,11 +42,13 @@ type Fig10Result struct {
 	FinalTempC, FinalDewC float64
 }
 
-// Fig10 runs the 105-minute Figure 10 trial.
-func Fig10(ctx context.Context, seed uint64) (*Fig10Result, error) {
+// Fig10 runs the 105-minute Figure 10 trial. Extra options are passed
+// through to core.NewSystem — the determinism tests use this to prove an
+// empty fault plan leaves the trial bit-identical.
+func Fig10(ctx context.Context, seed uint64, opts ...core.Option) (*Fig10Result, error) {
 	cfg := core.DefaultConfig()
 	cfg.Seed = seed
-	sys, err := core.NewSystem(cfg)
+	sys, err := core.NewSystem(cfg, opts...)
 	if err != nil {
 		return nil, err
 	}

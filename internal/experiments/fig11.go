@@ -61,7 +61,8 @@ func Fig11(ctx context.Context, seed uint64) (*Fig11Result, error) {
 	}
 	clock := sim.MustClock(cfg.Start, cfg.Step)
 	engine := sim.NewEngine(clock, seed)
-	engine.Add(unit, room)
+	engine.Register(unit)
+	engine.Register(room)
 	if err := engine.RunFor(ctx, boot); err != nil {
 		return nil, err
 	}

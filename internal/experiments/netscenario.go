@@ -156,7 +156,7 @@ func RunNetScenario(ctx context.Context, seed uint64, d time.Duration) (*NetScen
 	lastMinChange := make(map[string]time.Duration)
 	lastMaxChange := make(map[string]time.Duration)
 	var sinceAcc float64
-	engine.Add(sim.ComponentFunc{ID: "scenario.probe", Fn: func(env *sim.Env) {
+	engine.Register(sim.ComponentFunc{ID: "scenario.probe", Fn: func(env *sim.Env) {
 		for _, dev := range sys.Devices() {
 			id := string(dev.Node().ID())
 			lo, hi, ok := dev.Scheduler().Histogram().Range()

@@ -1,0 +1,130 @@
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"bubblezero/internal/sim"
+)
+
+// SensorTarget is the fault surface of one mote's sensor device.
+type SensorTarget interface {
+	// DepleteBattery empties the mote's battery.
+	DepleteBattery()
+	// ScaleBatteryRemaining rescales the remaining charge to frac of its
+	// current value.
+	ScaleBatteryRemaining(frac float64)
+	// SetStuck latches (on) or releases (off) the sensor channel.
+	SetStuck(on bool)
+	// SetDrift sets the calibration drift rate in units/s; 0 clears.
+	SetDrift(ratePerS float64)
+	// SetOffline suspends (on) or resumes (off) the whole device.
+	SetOffline(on bool)
+}
+
+// NetworkTarget is the fault surface of the shared radio medium.
+// *wsn.Network satisfies it directly.
+type NetworkTarget interface {
+	// SetLossBoost adds p to the configured loss floor; 0 restores it.
+	SetLossBoost(p float64)
+	// SetJammed switches the channel jam on or off.
+	SetJammed(on bool)
+}
+
+// PlantTarget is the fault surface of the hydraulic plant.
+type PlantTarget interface {
+	// SetChillerTripped trips or restores the loop's chiller.
+	SetChillerTripped(loop Loop, on bool)
+	// SetPumpDerate limits the loop's pumps to frac of commanded flow;
+	// 1 restores them.
+	SetPumpDerate(loop Loop, frac float64)
+}
+
+// Target bundles the injection surfaces a Plan acts on. Sensor resolves
+// a node id to its device surface (nil for unknown ids); Network and
+// Plant may be nil when the plan contains no events of that family.
+type Target struct {
+	Sensor  func(node string) SensorTarget
+	Network NetworkTarget
+	Plant   PlantTarget
+}
+
+// Apply schedules every event of the plan on the timeline, with offsets
+// relative to start. Targets are resolved eagerly, so a plan naming an
+// unknown node or missing a needed surface fails here rather than
+// mid-run. Each event contributes an injection at start+At and, when For
+// is non-zero, a clearance at start+At+For; same-instant timeline order
+// is insertion order, so injections listed earlier land first and a
+// zero-duration window still injects before it clears.
+func (p *Plan) Apply(tl *sim.Timeline, start time.Time, tgt Target) error {
+	if p == nil {
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for _, ev := range p.events {
+		inject, clear, err := ev.actions(tgt)
+		if err != nil {
+			return err
+		}
+		tl.At(start.Add(ev.At), "fault:"+ev.String(), func(*sim.Env) { inject() })
+		if ev.For > 0 {
+			tl.At(start.Add(ev.At+ev.For), "fault-clear:"+ev.String(), func(*sim.Env) { clear() })
+		}
+	}
+	return nil
+}
+
+// actions resolves the event against the target and returns its
+// injection and clearance closures.
+func (ev Event) actions(tgt Target) (inject, clear func(), err error) {
+	if ev.Kind.needsNode() {
+		if tgt.Sensor == nil {
+			return nil, nil, fmt.Errorf("fault: %s: target has no sensor resolver", ev)
+		}
+		st := tgt.Sensor(ev.Node)
+		if st == nil {
+			return nil, nil, fmt.Errorf("fault: %s: unknown node %q", ev, ev.Node)
+		}
+		switch ev.Kind {
+		case KindBatteryDeplete:
+			return st.DepleteBattery, nil, nil
+		case KindBatteryScale:
+			frac := ev.Magnitude
+			return func() { st.ScaleBatteryRemaining(frac) }, nil, nil
+		case KindSensorStuck:
+			return func() { st.SetStuck(true) }, func() { st.SetStuck(false) }, nil
+		case KindSensorDrift:
+			rate := ev.Magnitude
+			return func() { st.SetDrift(rate) }, func() { st.SetDrift(0) }, nil
+		case KindMoteOffline:
+			return func() { st.SetOffline(true) }, func() { st.SetOffline(false) }, nil
+		}
+	}
+	switch ev.Kind {
+	case KindBurstLoss, KindJam:
+		if tgt.Network == nil {
+			return nil, nil, fmt.Errorf("fault: %s: target has no network surface", ev)
+		}
+		net := tgt.Network
+		if ev.Kind == KindJam {
+			return func() { net.SetJammed(true) }, func() { net.SetJammed(false) }, nil
+		}
+		p := ev.Magnitude
+		return func() { net.SetLossBoost(p) }, func() { net.SetLossBoost(0) }, nil
+	case KindChillerTrip, KindPumpDegrade:
+		if tgt.Plant == nil {
+			return nil, nil, fmt.Errorf("fault: %s: target has no plant surface", ev)
+		}
+		plant, loop := tgt.Plant, ev.Loop
+		if ev.Kind == KindChillerTrip {
+			return func() { plant.SetChillerTripped(loop, true) },
+				func() { plant.SetChillerTripped(loop, false) }, nil
+		}
+		frac := ev.Magnitude
+		return func() { plant.SetPumpDerate(loop, frac) },
+			func() { plant.SetPumpDerate(loop, 1) }, nil
+	}
+	return nil, nil, fmt.Errorf("fault: %s: unhandled kind", ev)
+}

@@ -40,6 +40,13 @@ type Pump struct {
 	StandbyW float64
 
 	voltage float64
+
+	// derate scales the delivered flow during a pump-degradation fault
+	// (worn impeller, partial clog), valid only while derated is set. The
+	// electrical draw still follows the commanded voltage — a degraded
+	// pump wastes energy.
+	derate  float64
+	derated bool
 }
 
 // Validate checks the pump parameters.
@@ -69,11 +76,41 @@ func (p *Pump) SetFlow(lpm float64) {
 	p.SetVoltage(lpm / p.MaxFlowLpm * 5)
 }
 
+// SetDerate limits the delivered flow to frac of the commanded value
+// (clamped to [0, 1]); 1 restores a healthy pump. Controllers are not
+// told: they see the shortfall through the plant and compensate until
+// they saturate, which is exactly the degradation the fault layer probes.
+func (p *Pump) SetDerate(frac float64) {
+	if frac >= 1 {
+		// Healthy again: keep the fault-free FlowLpm path untouched.
+		p.derate, p.derated = 0, false
+		return
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	p.derate, p.derated = frac, true
+}
+
+// Derate returns the delivered-flow fraction (1 when healthy).
+func (p *Pump) Derate() float64 {
+	if !p.derated {
+		return 1
+	}
+	return p.derate
+}
+
 // Voltage returns the current command voltage.
 func (p *Pump) Voltage() float64 { return p.voltage }
 
 // FlowLpm returns the delivered flow in litres/minute.
-func (p *Pump) FlowLpm() float64 { return p.voltage / 5 * p.MaxFlowLpm }
+func (p *Pump) FlowLpm() float64 {
+	f := p.voltage / 5 * p.MaxFlowLpm
+	if p.derated {
+		f *= p.derate
+	}
+	return f
+}
 
 // PowerW returns the current electrical draw.
 func (p *Pump) PowerW() float64 {
@@ -98,6 +135,11 @@ type Tank struct {
 	CapacityW float64
 	// LossUA models heat gain from the room to the tank in W/K.
 	LossUA float64
+
+	// tripped holds the chiller off during a trip fault: the tank keeps
+	// absorbing loop returns and standing losses, so its temperature
+	// free-rises until the trip clears.
+	tripped bool
 
 	temp         float64
 	loadW        float64 // heat returned by loops this step
@@ -128,6 +170,14 @@ func NewTank(volumeL, setpoint float64, chiller exergy.Chiller, capacityW float6
 	}, nil
 }
 
+// SetChillerTripped trips (on) or restores (off) the chiller. While
+// tripped it moves no heat and draws no power; the tank warms under its
+// load and recovers under the proportional band after restoration.
+func (t *Tank) SetChillerTripped(on bool) { t.tripped = on }
+
+// ChillerTripped reports whether the chiller is currently tripped.
+func (t *Tank) ChillerTripped() bool { return t.tripped }
+
 // Temp returns the current tank water temperature (°C) — the paper's
 // T_supp for loops drawing from this tank.
 func (t *Tank) Temp() float64 { return t.temp }
@@ -154,6 +204,9 @@ func (t *Tank) Step(dt, tRoom, tOutdoor float64) {
 		demand = 0
 	} else if demand > t.CapacityW {
 		demand = t.CapacityW
+	}
+	if t.tripped {
+		demand = 0
 	}
 	t.thermalW = demand
 	t.elecW = t.Chiller.Power(demand, t.Setpoint, tOutdoor)

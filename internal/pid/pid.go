@@ -48,6 +48,7 @@ type Controller struct {
 	integral float64
 	prevMeas float64
 	hasPrev  bool
+	frozen   bool
 	lastOut  float64
 }
 
@@ -77,6 +78,17 @@ func (c *Controller) Setpoint() float64 { return c.setpoint }
 // Output returns the most recently computed output without advancing the
 // controller.
 func (c *Controller) Output() float64 { return c.lastOut }
+
+// SetIntegratorFrozen holds the integral state constant across Update
+// calls while on. Degradation logic freezes the integrator when the
+// measurement feeding the loop has gone stale: a held (repeated) reading
+// carries a persistent error that would otherwise wind the integrator
+// toward an actuator extreme the real process never asked for. P and D
+// action remain live so control resumes cleanly when the input returns.
+func (c *Controller) SetIntegratorFrozen(on bool) { c.frozen = on }
+
+// IntegratorFrozen reports whether the integrator is currently held.
+func (c *Controller) IntegratorFrozen() bool { return c.frozen }
 
 // Reset clears the integrator and derivative history, e.g. after a long
 // actuator outage.
@@ -116,16 +128,19 @@ func (c *Controller) Update(measurement, dt float64) float64 {
 
 	// Tentative integral advance with conditional anti-windup: only
 	// integrate if the unsaturated output is inside limits, or the error
-	// drives the output back toward the valid range.
-	tentative := c.integral + c.cfg.Ki*errv*dt
-	unsat := p + tentative + d
-	switch {
-	case unsat > c.cfg.OutMax && errv > 0:
-		// would deepen high saturation: freeze integrator
-	case unsat < c.cfg.OutMin && errv < 0:
-		// would deepen low saturation: freeze integrator
-	default:
-		c.integral = tentative
+	// drives the output back toward the valid range. An externally frozen
+	// integrator (stale input) skips the advance entirely.
+	if !c.frozen {
+		tentative := c.integral + c.cfg.Ki*errv*dt
+		unsat := p + tentative + d
+		switch {
+		case unsat > c.cfg.OutMax && errv > 0:
+			// would deepen high saturation: freeze integrator
+		case unsat < c.cfg.OutMin && errv < 0:
+			// would deepen low saturation: freeze integrator
+		default:
+			c.integral = tentative
+		}
 	}
 
 	out := p + c.integral + d

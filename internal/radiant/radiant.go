@@ -40,6 +40,13 @@ type Config struct {
 	// dew point. This is the ablation showing why the decomposed modules
 	// must collaborate — running it in tropical air wets the panels.
 	IgnoreDewGuard bool
+	// SafeModeRaiseK is the extra margin (K) added on top of DewMargin
+	// while a panel is in safe mode — the degradation watchdog's response
+	// to untrusted humidity data. The held dew estimate may be wrong by
+	// however far the room has moved since it froze, so the mixed-water
+	// target backs away from the condensation threshold at the cost of
+	// some cooling capacity.
+	SafeModeRaiseK float64
 	// PID is the F_mix controller configuration. Zero value selects the
 	// calibrated default.
 	PID pid.Config
@@ -48,9 +55,10 @@ type Config struct {
 // DefaultConfig returns the paper's operating configuration (25 °C target).
 func DefaultConfig() Config {
 	return Config{
-		TPref:     25,
-		FMixMax:   6,
-		DewMargin: 0.2,
+		TPref:          25,
+		FMixMax:        6,
+		DewMargin:      0.2,
+		SafeModeRaiseK: 1.5,
 		PID: pid.Config{
 			Kp:      2.0,
 			Ki:      0.01,
@@ -69,6 +77,9 @@ func (c Config) Validate() error {
 	}
 	if c.DewMargin < 0 {
 		return fmt.Errorf("radiant: DewMargin must be >= 0, got %v", c.DewMargin)
+	}
+	if c.SafeModeRaiseK < 0 {
+		return fmt.Errorf("radiant: SafeModeRaiseK must be >= 0, got %v", c.SafeModeRaiseK)
 	}
 	return c.PID.Validate()
 }
@@ -93,6 +104,10 @@ type Module struct {
 
 	tMixTarget [NumPanels]float64
 	fMixTarget [NumPanels]float64
+
+	// safeMode panels target dew + DewMargin + SafeModeRaiseK (set by the
+	// degradation watchdog while the panel's humidity inputs are stale).
+	safeMode [NumPanels]bool
 }
 
 var _ sim.Component = (*Module)(nil)
@@ -144,6 +159,39 @@ func (m *Module) SetTPref(t float64) {
 
 // TPref returns the current temperature setpoint.
 func (m *Module) TPref() float64 { return m.cfg.TPref }
+
+// SetSafeMode switches a panel's condensation safe mode: while on, the
+// mixed-water target carries SafeModeRaiseK of extra margin above the
+// (possibly stale) dew estimate. Out-of-range panels are ignored.
+func (m *Module) SetSafeMode(panel int, on bool) {
+	if panel >= 0 && panel < NumPanels {
+		m.safeMode[panel] = on
+	}
+}
+
+// SafeMode reports whether a panel is in condensation safe mode.
+func (m *Module) SafeMode(panel int) bool {
+	return panel >= 0 && panel < NumPanels && m.safeMode[panel]
+}
+
+// SetIntegratorsFrozen freezes or thaws the F_mix PID integrators of
+// both panels — the watchdog's response to the room-temperature feed
+// going entirely stale (see pid.Controller.SetIntegratorFrozen).
+func (m *Module) SetIntegratorsFrozen(on bool) {
+	for _, c := range m.pids {
+		c.SetIntegratorFrozen(on)
+	}
+}
+
+// DeratePumps limits every loop pump of the module to frac of its
+// commanded flow (1 restores healthy pumps) — the fault layer's
+// pump-degradation hook.
+func (m *Module) DeratePumps(frac float64) {
+	for _, l := range m.loops {
+		l.Supply.SetDerate(frac)
+		l.Recycle.SetDerate(frac)
+	}
+}
 
 // ObservePanelDew feeds an under-panel dew-point reading (°C) for the
 // given panel, as computed by Control-C-1 from its six temperature and
@@ -237,7 +285,11 @@ func (m *Module) Step(env *sim.Env) {
 		if m.cfg.IgnoreDewGuard {
 			m.tMixTarget[p] = tSupp
 		} else {
-			m.tMixTarget[p] = math.Max(tSupp, dew+m.cfg.DewMargin)
+			margin := m.cfg.DewMargin
+			if m.safeMode[p] {
+				margin += m.cfg.SafeModeRaiseK
+			}
+			m.tMixTarget[p] = math.Max(tSupp, dew+margin)
 		}
 
 		// F_t_mix from the PID on ΔT = T_room − T_pref. Without a room

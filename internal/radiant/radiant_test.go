@@ -49,9 +49,11 @@ func newRig(t *testing.T) *rig {
 func (r *rig) run(t *testing.T, d time.Duration, extra ...sim.Component) {
 	t.Helper()
 	e := sim.NewEngine(sim.MustClock(testStart, time.Second), 3)
-	e.Add(extra...)
-	e.Add(r.module)
-	e.Add(sim.ComponentFunc{ID: "tank", Fn: func(env *sim.Env) {
+	for _, c := range extra {
+		e.Register(c)
+	}
+	e.Register(r.module)
+	e.Register(sim.ComponentFunc{ID: "tank", Fn: func(env *sim.Env) {
 		r.tank.Step(env.Dt(), 25, 28.9)
 	}})
 	if err := e.RunFor(context.Background(), d); err != nil {

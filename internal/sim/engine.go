@@ -119,24 +119,12 @@ func (e *Engine) Timeline() *Timeline { return e.timeline }
 
 // Add registers components in step order. A component that also
 // implements Cadenced is placed on the due-wheel and stepped only on its
-// due ticks; everything else is stepped every tick. Register components
-// between runs, not from inside a Step call.
+// due ticks; everything else is stepped every tick.
+//
+// Deprecated: use Register, which also returns the scheduling handle.
 func (e *Engine) Add(cs ...Component) {
 	for _, c := range cs {
-		ent := &entry{
-			c:           c,
-			idx:         len(e.entries),
-			regTick:     e.clock.Tick(),
-			doneThrough: e.clock.Tick(),
-		}
-		e.entries = append(e.entries, ent)
-		if cad, ok := c.(Cadenced); ok {
-			ent.cad = cad
-			ent.nextDue = ent.doneThrough + cad.NextDue(e.dtS) - 1
-			e.wheel.push(ent, e.clock.Tick())
-		} else {
-			e.always = append(e.always, ent)
-		}
+		e.Register(c)
 	}
 }
 
@@ -245,6 +233,11 @@ func (e *Engine) stepDue(env *Env) {
 }
 
 func (e *Engine) stepAlways(ent *entry, env *Env) {
+	if ent.suspended {
+		// A wake received while suspended stays latched and fires on the
+		// first processed tick after Resume.
+		return
+	}
 	if ent.onDemand {
 		if !ent.woken {
 			return
@@ -257,8 +250,16 @@ func (e *Engine) stepAlways(ent *entry, env *Env) {
 
 // stepWheel catches a due entry up through the current tick (one StepN
 // call covering every tick since its last activation), then reschedules
-// it at its next due tick.
+// it at its next due tick. Suspended entries keep their slot but the
+// poll is a no-op: the covered ticks are marked done without being
+// delivered, so the outage is never replayed.
 func (e *Engine) stepWheel(ent *entry, env *Env, tick uint64) {
+	if ent.suspended {
+		ent.doneThrough = tick + 1
+		ent.nextDue = tick + ent.cad.NextDue(e.dtS)
+		e.wheel.push(ent, tick)
+		return
+	}
 	ent.cad.StepN(env, tick+1-ent.doneThrough)
 	ent.doneThrough = tick + 1
 	ent.steps++
@@ -274,7 +275,7 @@ func (e *Engine) stepWheel(ent *entry, env *Env, tick uint64) {
 func (e *Engine) catchUp(env *Env) {
 	now := e.clock.Tick()
 	for _, ent := range e.entries {
-		if ent.cad == nil || ent.doneThrough >= now {
+		if ent.cad == nil || ent.suspended || ent.doneThrough >= now {
 			continue
 		}
 		ent.cad.StepN(env, now-ent.doneThrough)

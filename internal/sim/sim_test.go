@@ -96,7 +96,9 @@ func TestEngineStepsComponentsInOrder(t *testing.T) {
 	mk := func(name string) Component {
 		return ComponentFunc{ID: name, Fn: func(*Env) { order = append(order, name) }}
 	}
-	e.Add(mk("plant"), mk("sensors"), mk("controller"))
+	e.Register(mk("plant"))
+	e.Register(mk("sensors"))
+	e.Register(mk("controller"))
 	if err := e.RunTicks(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +116,7 @@ func TestEngineStepsComponentsInOrder(t *testing.T) {
 func TestEngineRunForWholeTicks(t *testing.T) {
 	e := NewEngine(MustClock(testStart, time.Second), 1)
 	n := 0
-	e.Add(ComponentFunc{ID: "count", Fn: func(*Env) { n++ }})
+	e.Register(ComponentFunc{ID: "count", Fn: func(*Env) { n++ }})
 	if err := e.RunFor(context.Background(), 90*time.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +127,7 @@ func TestEngineRunForWholeTicks(t *testing.T) {
 
 func TestEngineContextCancellation(t *testing.T) {
 	e := NewEngine(MustClock(testStart, time.Second), 1)
-	e.Add(ComponentFunc{ID: "noop", Fn: func(*Env) {}})
+	e.Register(ComponentFunc{ID: "noop", Fn: func(*Env) {}})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	err := e.RunTicks(ctx, 10)
@@ -137,7 +139,7 @@ func TestEngineContextCancellation(t *testing.T) {
 func TestEngineStopCondition(t *testing.T) {
 	e := NewEngine(MustClock(testStart, time.Second), 1)
 	n := 0
-	e.Add(ComponentFunc{ID: "count", Fn: func(*Env) { n++ }})
+	e.Register(ComponentFunc{ID: "count", Fn: func(*Env) { n++ }})
 	e.SetStopCondition(func(env *Env) bool { return n >= 5 })
 	err := e.RunTicks(context.Background(), 100)
 	if !errors.Is(err, ErrStopped) {
@@ -152,7 +154,7 @@ func TestEnvExposesClock(t *testing.T) {
 	e := NewEngine(MustClock(testStart, 2*time.Second), 1)
 	var dts []float64
 	var ticks []uint64
-	e.Add(ComponentFunc{ID: "probe", Fn: func(env *Env) {
+	e.Register(ComponentFunc{ID: "probe", Fn: func(env *Env) {
 		dts = append(dts, env.Dt())
 		ticks = append(ticks, env.Tick())
 	}})
@@ -173,7 +175,7 @@ func TestEnvExposesClock(t *testing.T) {
 
 func TestTimelineFiresInOrder(t *testing.T) {
 	e := NewEngine(MustClock(testStart, time.Second), 1)
-	e.Add(ComponentFunc{ID: "noop", Fn: func(*Env) {}})
+	e.Register(ComponentFunc{ID: "noop", Fn: func(*Env) {}})
 	var fired []string
 	e.Timeline().At(testStart.Add(5*time.Second), "b", func(*Env) { fired = append(fired, "b") })
 	e.Timeline().At(testStart.Add(2*time.Second), "a", func(*Env) { fired = append(fired, "a") })
@@ -285,7 +287,7 @@ func TestRunForCancellationLatencyBoundedInSimTime(t *testing.T) {
 	e := NewEngine(MustClock(time.Unix(0, 0).UTC(), 30*time.Second), 1)
 	ctx, cancel := context.WithCancel(context.Background())
 	ticks := 0
-	e.Add(ComponentFunc{ID: "counter", Fn: func(*Env) {
+	e.Register(ComponentFunc{ID: "counter", Fn: func(*Env) {
 		ticks++
 		if ticks == 1 {
 			cancel()
@@ -317,7 +319,7 @@ func TestRunForTruncatesPartialTicks(t *testing.T) {
 	for _, tc := range cases {
 		e := NewEngine(MustClock(time.Unix(0, 0).UTC(), time.Minute), 1)
 		ticks := 0
-		e.Add(ComponentFunc{ID: "counter", Fn: func(*Env) { ticks++ }})
+		e.Register(ComponentFunc{ID: "counter", Fn: func(*Env) { ticks++ }})
 		if err := e.RunFor(context.Background(), tc.d); err != nil {
 			t.Fatal(err)
 		}

@@ -52,6 +52,10 @@ type entry struct {
 	onDemand bool // stepped only on ticks it was woken for
 	woken    bool
 
+	// suspended entries are skipped by every delivery path (always list,
+	// wheel polls, catch-up) until their Registration resumes them.
+	suspended bool
+
 	steps   uint64 // due-tick activations
 	regTick uint64 // clock tick at registration, for skip accounting
 }
@@ -247,29 +251,18 @@ func (e *Engine) StepStats() []ComponentStats {
 }
 
 // AddEvery registers c on the due-wheel with a fixed cadence: it is
-// stepped on the registration tick and every period thereafter. The
-// skipped ticks are genuinely skipped — the component receives no
-// catch-up calls for them — so AddEvery suits coarse periodic work
-// (logging, checkpointing, supervisory decisions) that does not integrate
-// over dt. period is rounded down to whole ticks with a minimum of one;
-// a period of one step is equivalent to Add.
+// stepped on the registration tick and every period thereafter.
+//
+// Deprecated: use Register with WithCadence.
 func (e *Engine) AddEvery(period time.Duration, c Component) {
-	ticks := uint64(period / e.clock.Step())
-	if ticks < 1 {
-		ticks = 1
-	}
-	e.Add(&fixedCadence{c: c, periodTicks: ticks, untilDue: 1})
+	e.Register(c, WithCadence(period))
 }
 
 // AddOnDemand registers c to be stepped, at its position in the
 // registration order, only on ticks during which the returned wake
-// function was called. A wake during tick T from a component ordered
-// before c steps c on tick T itself; a wake after c's position (or from
-// outside the run loop) steps c on the next processed tick. The flag
-// persists until c is stepped, so a wake is never lost.
+// function was called.
+//
+// Deprecated: use Register with WithOnDemand and the handle's Wake.
 func (e *Engine) AddOnDemand(c Component) (wake func()) {
-	ent := &entry{c: c, idx: len(e.entries), regTick: e.clock.Tick(), onDemand: true}
-	e.entries = append(e.entries, ent)
-	e.always = append(e.always, ent)
-	return func() { ent.woken = true }
+	return e.Register(c, WithOnDemand()).Wake
 }

@@ -80,14 +80,14 @@ func TestCadencedMatchesEveryTickPolling(t *testing.T) {
 		t.Run(fmt.Sprintf("step=%v_period=%vs", tc.step, tc.periodS), func(t *testing.T) {
 			wheeled := &accumCadenced{name: "dev", periodS: tc.periodS}
 			ew := NewEngine(MustClock(testStart, tc.step), 1)
-			ew.Add(wheeled)
+			ew.Register(wheeled)
 			if err := ew.RunTicks(context.Background(), tc.ticks); err != nil {
 				t.Fatal(err)
 			}
 
 			polled := &accumCadenced{name: "dev", periodS: tc.periodS}
 			ep := NewEngine(MustClock(testStart, tc.step), 1)
-			ep.Add(everyTickTwin{polled})
+			ep.Register(everyTickTwin{polled})
 			if err := ep.RunTicks(context.Background(), tc.ticks); err != nil {
 				t.Fatal(err)
 			}
@@ -117,7 +117,8 @@ func TestCadencedMatchesEveryTickPolling(t *testing.T) {
 func TestStepStatsCountsDueTicksOnly(t *testing.T) {
 	e := NewEngine(MustClock(testStart, time.Second), 1)
 	dev := &accumCadenced{name: "dev", periodS: 3}
-	e.Add(ComponentFunc{ID: "plant", Fn: func(*Env) {}}, dev)
+	e.Register(ComponentFunc{ID: "plant", Fn: func(*Env) {}})
+	e.Register(dev)
 	const ticks = 10
 	if err := e.RunTicks(context.Background(), ticks); err != nil {
 		t.Fatal(err)
@@ -155,7 +156,7 @@ func TestTimelineEventOnSkippedTick(t *testing.T) {
 	seen := -1.0
 	dev := &accumCadenced{name: "dev", periodS: 5}
 	dev.observe = func() { seen = setting }
-	e.Add(dev)
+	e.Register(dev)
 	var firedTick uint64
 	// Tick 3 is mid-gap: the device's only activations in a 10-tick run
 	// are ticks 4 and 9.
@@ -188,11 +189,11 @@ func TestSameTickOrderingWithWheel(t *testing.T) {
 	e := NewEngine(MustClock(testStart, time.Second), 1)
 	var order []string
 	note := func(s string) { order = append(order, s) }
-	e.Add(ComponentFunc{ID: "a", Fn: func(*Env) { note("a") }})
+	e.Register(ComponentFunc{ID: "a", Fn: func(*Env) { note("a") }})
 	dev := &accumCadenced{name: "b", periodS: 2}
 	dev.observe = func() { note("b") }
-	e.Add(dev)
-	e.Add(ComponentFunc{ID: "c", Fn: func(*Env) { note("c") }})
+	e.Register(dev)
+	e.Register(ComponentFunc{ID: "c", Fn: func(*Env) { note("c") }})
 	e.Timeline().At(testStart.Add(1*time.Second), "ev", func(*Env) { note("ev") })
 	if err := e.RunTicks(context.Background(), 4); err != nil {
 		t.Fatal(err)
@@ -211,7 +212,7 @@ func TestSameTickOrderingWithWheel(t *testing.T) {
 func TestErrStoppedMidWheelCatchesUp(t *testing.T) {
 	e := NewEngine(MustClock(testStart, time.Second), 1)
 	dev := &accumCadenced{name: "dev", periodS: 5}
-	e.Add(dev)
+	e.Register(dev)
 	e.SetStopCondition(func(env *Env) bool { return env.Tick() >= 3 })
 	err := e.RunTicks(context.Background(), 100)
 	if !errors.Is(err, ErrStopped) {
@@ -233,7 +234,7 @@ func TestErrStoppedMidWheelCatchesUp(t *testing.T) {
 func TestCancellationCatchesUp(t *testing.T) {
 	e := NewEngine(MustClock(testStart, time.Second), 1)
 	dev := &accumCadenced{name: "dev", periodS: 1 << 20}
-	e.Add(dev)
+	e.Register(dev)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if err := e.RunTicks(ctx, 10); !errors.Is(err, context.Canceled) {
@@ -251,7 +252,7 @@ func TestCancellationCatchesUp(t *testing.T) {
 func TestCompletionCatchesUp(t *testing.T) {
 	e := NewEngine(MustClock(testStart, time.Second), 1)
 	dev := &accumCadenced{name: "dev", periodS: 7}
-	e.Add(dev)
+	e.Register(dev)
 	if err := e.RunTicks(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +308,7 @@ func TestAddOnDemandWake(t *testing.T) {
 	e := NewEngine(MustClock(testStart, time.Second), 1)
 	var stepped []uint64
 	var wake func()
-	e.Add(ComponentFunc{ID: "producer", Fn: func(env *Env) {
+	e.Register(ComponentFunc{ID: "producer", Fn: func(env *Env) {
 		if tk := env.Tick(); tk == 2 || tk == 7 {
 			wake()
 		}
@@ -346,7 +347,7 @@ func TestWakeAfterPositionLandsNextTick(t *testing.T) {
 	wake := e.AddOnDemand(ComponentFunc{ID: "net", Fn: func(env *Env) {
 		stepped = append(stepped, env.Tick())
 	}})
-	e.Add(ComponentFunc{ID: "late-producer", Fn: func(env *Env) {
+	e.Register(ComponentFunc{ID: "late-producer", Fn: func(env *Env) {
 		if env.Tick() == 4 {
 			wake()
 		}
@@ -365,7 +366,8 @@ func TestFarHorizonCadence(t *testing.T) {
 	e := NewEngine(MustClock(testStart, time.Second), 1)
 	slow := &accumCadenced{name: "slow", periodS: 200}
 	fast := &accumCadenced{name: "fast", periodS: 2}
-	e.Add(slow, fast)
+	e.Register(slow)
+	e.Register(fast)
 	if err := e.RunTicks(context.Background(), 450); err != nil {
 		t.Fatal(err)
 	}

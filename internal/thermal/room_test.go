@@ -15,7 +15,7 @@ var testStart = time.Date(2014, 3, 10, 13, 0, 0, 0, time.UTC)
 func runRoom(t *testing.T, r *Room, d time.Duration) {
 	t.Helper()
 	e := sim.NewEngine(sim.MustClock(testStart, time.Second), 7)
-	e.Add(r)
+	e.Register(r)
 	if err := e.RunFor(context.Background(), d); err != nil {
 		t.Fatal(err)
 	}
@@ -295,8 +295,8 @@ func TestPullDownTimescaleMatchesPaper(t *testing.T) {
 	}
 	dry := psychro.NewStateDewPoint(17, 15.5, 0)
 	e := sim.NewEngine(sim.MustClock(testStart, time.Second), 7)
-	e.Add(r)
-	e.Add(sim.ComponentFunc{ID: "loads", Fn: func(*sim.Env) {
+	e.Register(r)
+	e.Register(sim.ComponentFunc{ID: "loads", Fn: func(*sim.Env) {
 		for i := 0; i < NumZones; i++ {
 			r.SetPanelExtraction(ZoneID(i), 330)
 			r.SetVent(ZoneID(i), VentInput{VolFlow: 0.016, Supply: dry, SupplyCO2PPM: 410})
@@ -313,8 +313,8 @@ func TestPullDownTimescaleMatchesPaper(t *testing.T) {
 		t.Fatal(err)
 	}
 	e2 := sim.NewEngine(sim.MustClock(testStart, time.Second), 7)
-	e2.Add(r2)
-	e2.Add(sim.ComponentFunc{ID: "loads", Fn: func(env *sim.Env) {
+	e2.Register(r2)
+	e2.Register(sim.ComponentFunc{ID: "loads", Fn: func(env *sim.Env) {
 		for i := 0; i < NumZones; i++ {
 			r2.SetPanelExtraction(ZoneID(i), 330)
 			r2.SetVent(ZoneID(i), VentInput{VolFlow: 0.016, Supply: dry, SupplyCO2PPM: 410})

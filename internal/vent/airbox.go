@@ -176,6 +176,14 @@ func (b *Airbox) PowerW() float64 {
 // while the fans are off.
 func (b *Airbox) ParkPump() { b.pump.SetFlow(0) }
 
+// SetDewIntegratorFrozen freezes or thaws the outlet-dew PID integrator
+// — the degradation watchdog's response to this box's SHT75 mote going
+// stale (see pid.Controller.SetIntegratorFrozen).
+func (b *Airbox) SetDewIntegratorFrozen(on bool) { b.dew.SetIntegratorFrozen(on) }
+
+// CoilPump exposes the coil water pump for fault injection.
+func (b *Airbox) CoilPump() *hydraulic.Pump { return b.pump }
+
 // UpdateDewControl advances the outlet-dew PID with the measured outlet
 // dew point and commands the coil pump accordingly.
 func (b *Airbox) UpdateDewControl(measuredDew, dt float64) {

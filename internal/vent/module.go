@@ -147,6 +147,11 @@ type Module struct {
 	tSupp     float64 // radiant supply temperature from Control-C-1
 	airboxDew [NumBoxes]float64
 
+	// boxUntrusted marks boxes whose outlet-dew mote has gone stale: the
+	// coil PID then tracks the box's own model-predicted outlet dew
+	// instead of the last (frozen) measurement.
+	boxUntrusted [NumBoxes]bool
+
 	taTarget float64
 
 	// Exact-argument memos for the psychrometric conversions the per-tick
@@ -233,6 +238,31 @@ func (m *Module) ObserveSupplyTemp(t float64) {
 func (m *Module) ObserveAirboxDew(box int, dew float64) {
 	if box >= 0 && box < NumBoxes && !math.IsNaN(dew) {
 		m.airboxDew[box] = dew
+	}
+}
+
+// SetBoxDewUntrusted marks (or clears) a box's outlet-dew measurement as
+// untrusted. While set, the coil PID runs its integrator frozen against
+// the model-predicted outlet dew point rather than chasing the frozen
+// last measurement. Out-of-range boxes are ignored.
+func (m *Module) SetBoxDewUntrusted(box int, on bool) {
+	if box < 0 || box >= NumBoxes {
+		return
+	}
+	m.boxUntrusted[box] = on
+	m.boxes[box].SetDewIntegratorFrozen(on)
+}
+
+// BoxDewUntrusted reports whether a box's dew measurement is untrusted.
+func (m *Module) BoxDewUntrusted(box int) bool {
+	return box >= 0 && box < NumBoxes && m.boxUntrusted[box]
+}
+
+// DeratePumps limits every coil pump to frac of its commanded flow (1
+// restores healthy pumps) — the fault layer's pump-degradation hook.
+func (m *Module) DeratePumps(frac float64) {
+	for _, b := range m.boxes {
+		b.pump.SetDerate(frac)
 	}
 }
 
@@ -348,7 +378,7 @@ func (m *Module) Step(env *sim.Env) {
 		// pump (no point chilling a coil nothing flows over).
 		if b.FanFlow() > 0 {
 			measured := m.airboxDew[i]
-			if math.IsNaN(measured) {
+			if math.IsNaN(measured) || m.boxUntrusted[i] {
 				measured = b.Outlet().DewPoint()
 			}
 			b.UpdateDewControl(measured, dt)

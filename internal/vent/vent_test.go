@@ -40,9 +40,11 @@ func newTestModule(t *testing.T) (*Module, *hydraulic.Tank) {
 func runModule(t *testing.T, m *Module, tank *hydraulic.Tank, d time.Duration, extra ...sim.Component) {
 	t.Helper()
 	e := sim.NewEngine(sim.MustClock(testStart, time.Second), 5)
-	e.Add(extra...)
-	e.Add(m)
-	e.Add(sim.ComponentFunc{ID: "tank", Fn: func(env *sim.Env) {
+	for _, c := range extra {
+		e.Register(c)
+	}
+	e.Register(m)
+	e.Register(sim.ComponentFunc{ID: "tank", Fn: func(env *sim.Env) {
 		tank.Step(env.Dt(), 25, 28.9)
 	}})
 	if err := e.RunFor(context.Background(), d); err != nil {

@@ -39,6 +39,16 @@ type SensorDevice struct {
 	// observes transmissions.
 	onSample func(value, tsndS float64, transition bool)
 	onSend   func(value float64)
+
+	// Fault-injection state (see internal/fault). A stuck channel latches
+	// the first reading taken after the fault lands; a drifting channel
+	// accumulates driftPerS units of bias per second of simulated time,
+	// advanced per sample so the fault-free sampling path is untouched.
+	stuck     bool
+	stuckHeld bool
+	stuckVal  float64
+	driftPerS float64
+	driftBias float64
 }
 
 var _ sim.Cadenced = (*SensorDevice)(nil)
@@ -130,6 +140,27 @@ func (d *SensorDevice) OnSample(fn func(value, tsndS float64, transition bool)) 
 // OnSend registers a callback invoked at every transmission.
 func (d *SensorDevice) OnSend(fn func(value float64)) { d.onSend = fn }
 
+// SetStuck latches (on) or releases (off) the sensor channel. While
+// stuck, every sample repeats the first reading taken after the latch —
+// the classic failure of a wedged ADC or a detached probe. Releasing
+// clears the latch so the next sample reads the live plant again.
+func (d *SensorDevice) SetStuck(on bool) {
+	d.stuck = on
+	if !on {
+		d.stuckHeld = false
+	}
+}
+
+// SetDrift sets the channel's calibration drift rate in sensor units per
+// second of simulated time. A rate of zero clears the accumulated bias —
+// fault clearance models the mote being recalibrated or swapped.
+func (d *SensorDevice) SetDrift(ratePerS float64) {
+	d.driftPerS = ratePerS
+	if ratePerS == 0 {
+		d.driftBias = 0
+	}
+}
+
 // Step implements sim.Component.
 func (d *SensorDevice) Step(env *sim.Env) { d.StepN(env, 1) }
 
@@ -195,6 +226,18 @@ func (d *SensorDevice) sampleOnce() {
 		b.Drain(energy.SampleEnergyJ)
 	}
 	value := d.read()
+	if d.stuck {
+		if !d.stuckHeld {
+			d.stuckHeld, d.stuckVal = true, value
+		}
+		value = d.stuckVal
+	}
+	if d.driftPerS != 0 {
+		// One sample per T_spl, so per-sample accumulation integrates the
+		// rate over simulated time without touching the per-tick loop.
+		d.driftBias += d.driftPerS * d.tsplS
+		value += d.driftBias
+	}
 
 	var send bool
 	var tsnd float64

@@ -74,6 +74,7 @@ type Stats struct {
 	Delivered   int
 	Collided    int
 	LostRandom  int
+	Jammed      int
 	TotalDelayS float64
 }
 
@@ -180,6 +181,12 @@ type Network struct {
 	// from empty to non-empty — the hook an on-demand scheduler uses to
 	// step the network exactly on ticks where a producer transmitted.
 	wake func()
+
+	// Fault-injection state (see internal/fault), layered on top of the
+	// configured medium: lossBoost adds to LossFloor during burst-loss
+	// windows, and a jammed channel destroys every frame outright.
+	lossBoost float64
+	jammed    bool
 }
 
 var _ sim.Component = (*Network)(nil)
@@ -251,6 +258,22 @@ func (n *Network) Subscribe(fn func(Message), types ...MsgType) {
 // immediately when nothing was pending.
 func (n *Network) SetWake(fn func()) { n.wake = fn }
 
+// SetLossBoost adds p to the configured LossFloor for subsequent ticks
+// (total clamped to [0, 1] at draw time). Fault plans use it for burst
+// packet-loss windows; zero restores the configured floor bit-exactly.
+func (n *Network) SetLossBoost(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	n.lossBoost = p
+}
+
+// SetJammed switches the channel jam on or off. While jammed, every
+// frame offered in a tick is destroyed before contention resolution —
+// transmitters still pay their transmission energy, but nothing is
+// delivered and no RNG draws are consumed.
+func (n *Network) SetJammed(on bool) { n.jammed = on }
+
 // AddSniffer registers a callback observing every delivered message.
 func (n *Network) AddSniffer(fn func(Message)) {
 	n.sniffers = append(n.sniffers, fn)
@@ -295,12 +318,23 @@ func (n *Network) Step(env *sim.Env) {
 	if len(n.pending) == 0 {
 		return
 	}
+	if n.jammed {
+		n.stats.Sent += len(n.pending)
+		n.stats.Jammed += len(n.pending)
+		n.pending = n.pending[:0]
+		return
+	}
 	tick := env.Dt()
 	// Config fields and the RNG handle are hoisted to locals: every
 	// rng/callback call below would otherwise force their reload from the
 	// receiver, and the three passes touch them once or twice per packet.
 	rng := n.rng
 	airtime, blind, loss := n.cfg.AirtimeS, n.cfg.CCABlindS, n.cfg.LossFloor
+	if n.lossBoost > 0 {
+		if loss += n.lossBoost; loss > 1 {
+			loss = 1
+		}
+	}
 
 	// Offset assignment: AC nodes use staggered deterministic slots when
 	// desync is on; everything else picks a uniform random offset (the

@@ -92,10 +92,10 @@ func TestBroadcastDeliversToMatchingSubscribersOnly(t *testing.T) {
 	var sniffed int
 	n.AddSniffer(func(Message) { sniffed++ })
 
-	e.Add(sim.ComponentFunc{ID: "src", Fn: func(*sim.Env) {
+	e.Register(sim.ComponentFunc{ID: "src", Fn: func(*sim.Env) {
 		_ = n.Broadcast(node, Message{Type: MsgTemperature, Zone: 0, Value: 25})
 	}})
-	e.Add(n)
+	e.Register(n)
 	if err := e.RunTicks(context.Background(), 5); err != nil {
 		t.Fatal(err)
 	}
@@ -120,10 +120,10 @@ func TestBroadcastSetsSourceAndSeq(t *testing.T) {
 	node, _ := n.AddNode("t1", PowerAC)
 	var msgs []Message
 	n.Subscribe(func(m Message) { msgs = append(msgs, m) }, MsgHumidity)
-	e.Add(sim.ComponentFunc{ID: "src", Fn: func(*sim.Env) {
+	e.Register(sim.ComponentFunc{ID: "src", Fn: func(*sim.Env) {
 		_ = n.Broadcast(node, Message{Type: MsgHumidity, Value: 60})
 	}})
-	e.Add(n)
+	e.Register(n)
 	if err := e.RunTicks(context.Background(), 3); err != nil {
 		t.Fatal(err)
 	}
@@ -186,12 +186,12 @@ func floodCollisions(t *testing.T, desync bool, nNodes, ticks int) Stats {
 		}
 		nodes[i] = node
 	}
-	e.Add(sim.ComponentFunc{ID: "flood", Fn: func(*sim.Env) {
+	e.Register(sim.ComponentFunc{ID: "flood", Fn: func(*sim.Env) {
 		for _, node := range nodes {
 			_ = n.Broadcast(node, Message{Type: MsgTemperature, Value: 1})
 		}
 	}})
-	e.Add(n)
+	e.Register(n)
 	if err := e.RunTicks(context.Background(), uint64(ticks)); err != nil {
 		t.Fatal(err)
 	}
@@ -239,10 +239,10 @@ func TestLossFloorLosesSomePackets(t *testing.T) {
 	cfg.LossFloor = 0.2
 	n, e := newTestNetwork(t, cfg)
 	node, _ := n.AddNode("t1", PowerAC)
-	e.Add(sim.ComponentFunc{ID: "src", Fn: func(*sim.Env) {
+	e.Register(sim.ComponentFunc{ID: "src", Fn: func(*sim.Env) {
 		_ = n.Broadcast(node, Message{Type: MsgTemperature, Value: 1})
 	}})
-	e.Add(n)
+	e.Register(n)
 	if err := e.RunTicks(context.Background(), 2000); err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,8 @@ func TestSensorDeviceFixedModeSendsEverySample(t *testing.T) {
 	}
 	sends := 0
 	dev.OnSend(func(float64) { sends++ })
-	e.Add(dev, n)
+	e.Register(dev)
+	e.Register(n)
 	if err := e.RunFor(context.Background(), 60*time.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +294,8 @@ func TestSensorDeviceAdaptiveModeBacksOff(t *testing.T) {
 	}
 	sends := 0
 	dev.OnSend(func(float64) { sends++ })
-	e.Add(dev, n)
+	e.Register(dev)
+	e.Register(n)
 	if err := e.RunFor(context.Background(), 30*time.Minute); err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +322,8 @@ func TestSensorDeviceAdaptiveSavesEnergy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		e.Add(dev, n)
+		e.Register(dev)
+		e.Register(n)
 		if err := e.RunFor(context.Background(), time.Hour); err != nil {
 			t.Fatal(err)
 		}
@@ -362,7 +365,8 @@ func TestSensorDeviceStopsWhenBatteryDies(t *testing.T) {
 	node.Battery().Drain(node.Battery().RemainingJ())
 	sends := 0
 	dev.OnSend(func(float64) { sends++ })
-	e.Add(dev, n)
+	e.Register(dev)
+	e.Register(n)
 	if err := e.RunFor(context.Background(), time.Minute); err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +386,8 @@ func TestPeriodicBroadcasterCadence(t *testing.T) {
 	}
 	var got []float64
 	n.Subscribe(func(m Message) { got = append(got, m.Value) }, MsgSupplyTemp)
-	e.Add(pb, n)
+	e.Register(pb)
+	e.Register(n)
 	if err := e.RunFor(context.Background(), 50*time.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -432,12 +437,12 @@ func TestSnifferCountsAndLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	sn.Attach(n)
-	e.Add(sim.ComponentFunc{ID: "src", Fn: func(env *sim.Env) {
+	e.Register(sim.ComponentFunc{ID: "src", Fn: func(env *sim.Env) {
 		if env.Tick()%5 == 0 {
 			_ = n.Broadcast(node, Message{Type: MsgTemperature, Zone: 1, Value: 25})
 		}
 	}})
-	e.Add(n)
+	e.Register(n)
 	if err := e.RunTicks(context.Background(), 50); err != nil {
 		t.Fatal(err)
 	}
@@ -488,10 +493,10 @@ func TestSnifferNoWriterIsFine(t *testing.T) {
 		t.Fatal(err)
 	}
 	sn.Attach(n)
-	e.Add(sim.ComponentFunc{ID: "src", Fn: func(*sim.Env) {
+	e.Register(sim.ComponentFunc{ID: "src", Fn: func(*sim.Env) {
 		_ = n.Broadcast(node, Message{Type: MsgHumidity, Value: 60})
 	}})
-	e.Add(n)
+	e.Register(n)
 	if err := e.RunTicks(context.Background(), 3); err != nil {
 		t.Fatal(err)
 	}
