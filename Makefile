@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-fault bench-smoke bench-baseline bench-tick bench-tick-json benchguard ci
+.PHONY: all build test vet lint lint-fix-hints race race-fault bench-smoke bench-baseline bench-tick bench-tick-json benchguard ci
 
 all: build
 
@@ -19,6 +19,16 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# Static invariants: the bzlint determinism / hot-path / float-compare /
+# deprecated-API analyzers over the whole tree (DESIGN.md §7). Exit 1 on
+# any unwaived diagnostic.
+lint:
+	$(GO) run ./cmd/bzlint ./...
+
+# Same suite with a suggested rewrite printed under each diagnostic.
+lint-fix-hints:
+	$(GO) run ./cmd/bzlint -hints ./...
 
 # Fast race pass over the fault-injection and degradation paths: the
 # fault plan/apply machinery plus core's failure and degradation tests.
@@ -62,5 +72,5 @@ bench-tick-json:
 benchguard:
 	sh scripts/benchguard
 
-ci: benchguard vet race-fault race bench-smoke bench-tick
+ci: benchguard vet lint race-fault race bench-smoke bench-tick
 	@echo ci: OK

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bubblezero/internal/core"
+	"bubblezero/internal/fault"
 	"bubblezero/internal/psychro"
 	"bubblezero/internal/sim"
 	"bubblezero/internal/thermal"
@@ -101,5 +102,61 @@ func BenchmarkNetworkStep(b *testing.B) {
 			_ = net.Broadcast(n, wsn.Message{Type: wsn.MsgTemperature})
 		}
 		net.Step(env)
+	}
+}
+
+// TestSystemTickZeroAllocWithFaultPlan pins the steady-state tick to
+// zero per-tick allocations while a fault plan is armed and one of its
+// outages is live: the suspended-entry scheduling path, the watchdog the
+// plan arms, and the degradation bookkeeping must not add per-tick
+// garbage. Each measured call covers a 100-tick chunk; the allowance of
+// 10 per chunk absorbs the per-call Env header and the rare amortized
+// events profiling attributes the residue to (histogram rescale,
+// due-wheel bucket growth, trace chunk linking — ~2 per chunk in
+// practice), while a single new allocation on the per-tick path shows
+// up as 100+ and fails hard.
+func TestSystemTickZeroAllocWithFaultPlan(t *testing.T) {
+	plan := fault.MustPlan(
+		// Injected and cleared during warmup: exercises the suspend and
+		// resume transitions before measurement starts.
+		fault.Jam(2*time.Minute, time.Minute),
+		// Live for the whole measured window: the mote's wheel entry stays
+		// suspended and zone-2 control runs on neighbour substitution.
+		fault.MoteOffline(5*time.Minute, 30*time.Minute, "bt-temp-2"),
+	)
+	cfg := core.DefaultConfig()
+	sys, err := core.NewSystem(cfg, core.WithFaultPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// 12 minutes: past the thermal transient, past the jam window, and 7
+	// minutes into the outage — beyond the 5-minute staleness budget, so
+	// neighbour substitution is active when measurement starts.
+	if err := sys.Run(ctx, 12*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Degradation().TempSubstituted[1] {
+		t.Fatal("warmup did not reach the live outage window")
+	}
+
+	const chunks, ticksPer = 6, 100
+	// Pre-grow every traced series past the samples the measured ticks
+	// record (one per TracePeriod at the 1 s step), so amortized chunk
+	// growth does not count as tick work.
+	samples := (chunks+1)*ticksPer/int(cfg.TracePeriod/time.Second) + 4
+	for _, name := range sys.Recorder().Names() {
+		sys.Recorder().Open(name).Grow(samples)
+	}
+	allocs := testing.AllocsPerRun(chunks, func() {
+		if err := sys.Engine().RunTicks(ctx, ticksPer); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 10 {
+		t.Errorf("ticking with an armed fault plan allocates %.2f per %d-tick chunk, want <= 10 (amortized events only, nothing per tick)", allocs, ticksPer)
+	}
+	if !sys.Degradation().TempSubstituted[1] {
+		t.Error("outage ended mid-measurement; the pin no longer covers the degraded path")
 	}
 }

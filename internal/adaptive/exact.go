@@ -105,6 +105,7 @@ func (e *ExactClusterer) Threshold() (lambda float64, ok bool) {
 	e.syncSorted()
 	sorted := e.sorted
 	vmin, vmax := sorted[0], sorted[n-1]
+	//bzlint:allow floateq degenerate-range check on stored samples; no arithmetic has touched them
 	if vmin == vmax {
 		return 0, false
 	}
@@ -117,17 +118,6 @@ func (e *ExactClusterer) Threshold() (lambda float64, ok bool) {
 	for i, v := range sorted {
 		prefix[i+1] = prefix[i] + v
 	}
-	// absDev returns Σ|v − c| over sorted[lo:hi], where k is the index of
-	// the first value in [lo, hi] not below c.
-	absDev := func(lo, hi, k int, c float64) float64 {
-		if lo >= hi {
-			return 0
-		}
-		below := c*float64(k-lo) - (prefix[k] - prefix[lo])
-		above := (prefix[hi] - prefix[k]) - c*float64(hi-k)
-		return below + above
-	}
-
 	// The candidate b and both cluster centers increase monotonically with
 	// j, so the three partition indices a binary search used to locate are
 	// maintained as forward-only pointers: split is the first value ≥ b,
@@ -154,11 +144,24 @@ func (e *ExactClusterer) Threshold() (lambda float64, ok bool) {
 		if kLo > split {
 			kLo = split
 		}
-		cost := absDev(0, split, kLo, cc1) + absDev(split, n, k2, cc2)
+		cost := absDev(prefix, 0, split, kLo, cc1) + absDev(prefix, split, n, k2, cc2)
 		if cost < bestCost {
 			bestCost = cost
 			bestB = b
 		}
 	}
 	return bestB, true
+}
+
+// absDev returns Σ|v − c| over sorted[lo:hi] given prefix, the
+// prefix-sum array of sorted, where k is the index of the first value in
+// [lo, hi] not below c. It is a plain function rather than a closure so
+// the hot Threshold path captures nothing.
+func absDev(prefix []float64, lo, hi, k int, c float64) float64 {
+	if lo >= hi {
+		return 0
+	}
+	below := c*float64(k-lo) - (prefix[k] - prefix[lo])
+	above := (prefix[hi] - prefix[k]) - c*float64(hi-k)
+	return below + above
 }

@@ -268,6 +268,7 @@ func (s *Scheduler) OnSample(reading float64) Event {
 		// ground truth at these instants is what produces the paper's
 		// lower accuracy "before sufficient external events are
 		// encountered" (Figure 13).
+		//bzlint:allow floateq rescale detection compares stored bounds, copied not recomputed
 		if lo, hi, ok := s.hist.Range(); ok != okBefore || lo != loBefore || hi != hiBefore {
 			if l, ok := s.exact.Threshold(); ok {
 				s.exactLambda = l

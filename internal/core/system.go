@@ -409,6 +409,8 @@ func (sn Snapshot) String() string {
 
 // glue applies actuator outputs to the plant, steps the tanks, detects
 // condensation, accumulates COP, and records traces.
+//
+//bzlint:hotpath
 func (s *System) glue(env *sim.Env) {
 	dt := env.Dt()
 	outdoor := s.room.Outdoor()
@@ -424,6 +426,7 @@ func (s *System) glue(env *sim.Env) {
 		// per panel, not once per zone — and cached against the exact
 		// surface temperature, which sits on a float fixed point once the
 		// loop reaches steady state.
+		//bzlint:allow floateq exact-key memo; surface temp sits on a float fixed point at steady state
 		if m := &s.wSurfMemo[p]; m.tSurf != res.TSurface {
 			m.tSurf = res.TSurface
 			m.w = psychro.HumidityRatioFromDewPoint(res.TSurface, psychro.AtmPressure)

@@ -152,6 +152,7 @@ func (s *System) buildTopology() error {
 		if err := addSensor(fmt.Sprintf("bt-boxdew-%d", b+1), wsn.MsgAirboxDew, b,
 			s.cfg.TsplHumidityS, func() float64 {
 				out := s.ventMod.Box(b).Outlet()
+				//bzlint:allow floateq exact-key memo; outlet state is bit-identical between samples at steady state
 				if out.T != rhT || out.W != rhW || out.P != rhP {
 					rhT, rhW, rhP = out.T, out.W, out.P
 					rhOut = out.RH()

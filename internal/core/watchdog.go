@@ -104,6 +104,8 @@ func (w *watchdog) noteSupplyTemp() { w.supplyAtS = w.nowS() }
 // control modules, so a degradation decision is made on this tick's
 // freshest possible picture and the substituted observations are the
 // ones the modules act on.
+//
+//bzlint:hotpath
 func (w *watchdog) step(env *sim.Env) {
 	now := env.Elapsed().Seconds()
 

@@ -214,6 +214,7 @@ func (e Event) Validate() error {
 			return fmt.Errorf("fault: %s: Magnitude must be in (0, 1], got %v", e, e.Magnitude)
 		}
 	case KindSensorDrift:
+		//bzlint:allow floateq validating a user-authored config value against its zero default
 		if e.Magnitude == 0 {
 			return fmt.Errorf("fault: %s: Magnitude (drift rate) must be non-zero", e)
 		}
@@ -222,6 +223,7 @@ func (e Event) Validate() error {
 			return fmt.Errorf("fault: %s: Magnitude must be in [0, 1), got %v", e, e.Magnitude)
 		}
 	default:
+		//bzlint:allow floateq validating a user-authored config value against its zero default
 		if e.Magnitude != 0 {
 			return fmt.Errorf("fault: %s: Magnitude must be 0", e)
 		}

@@ -360,6 +360,7 @@ func (l *MixingLoop) Step(tAir, dt float64) {
 		l.last = l.Panel.Exchange(0, tSupp, tAir)
 	} else {
 		l.tMix = (fSupp*tSupp + fRcyc*l.tRet) / l.fMix
+		//bzlint:allow floateq exact-key memo for the effectiveness term; flows settle onto float fixed points
 		if l.fMix != l.epsFlow || l.Panel.UAWater != l.epsUA {
 			l.epsFlow, l.epsUA = l.fMix, l.Panel.UAWater
 			l.mdotCp = LpmToKgs(l.fMix) * CwWater

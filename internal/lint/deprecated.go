@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The deprecated analyzer flags in-repo references to functions and
+// methods whose doc comment carries a "Deprecated:" paragraph. A
+// deprecation with live callers is a migration that stalled halfway;
+// this keeps the window between deprecating and deleting an API visible
+// in CI instead of in archaeology.
+func runDeprecated(pkgs []*Package, passes map[*Package]*pass) {
+	const an = "deprecated"
+
+	// Collect deprecated functions across the loaded set, keyed like the
+	// hot-path graph, with the first line of the deprecation note.
+	note := map[string]string{}
+	inDecl := map[string]*ast.FuncDecl{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				msg := deprecationNote(fd.Doc.Text())
+				if msg == "" {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					note[obj.FullName()] = msg
+					inDecl[obj.FullName()] = fd
+				}
+			}
+		}
+	}
+	if len(note) == 0 {
+		return
+	}
+
+	for _, pkg := range pkgs {
+		p := passes[pkg]
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				fn, ok := pkg.Info.Uses[id].(*types.Func)
+				if !ok {
+					return true
+				}
+				msg, dep := note[fn.FullName()]
+				if !dep {
+					return true
+				}
+				// A deprecated wrapper may reference its replacement (or
+				// itself); uses inside any deprecated body don't count.
+				if fd := inDecl[fn.FullName()]; fd != nil && id.Pos() >= fd.Pos() && id.Pos() < fd.End() {
+					return true
+				}
+				p.report(f, id.Pos(), an,
+					"reference to deprecated "+fn.FullName(),
+					msg)
+				return true
+			})
+		}
+	}
+}
+
+// deprecationNote extracts the first line of a doc comment's
+// "Deprecated:" paragraph, or "" when the doc has none.
+func deprecationNote(doc string) string {
+	for _, line := range strings.Split(doc, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "Deprecated:") {
+			return line
+		}
+	}
+	return ""
+}

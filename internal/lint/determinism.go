@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// The determinism analyzer guards the bit-identical replay guarantee:
+// inside the deterministic packages every source of run-to-run variation
+// must flow through the engine (seeded RNG streams, the simulated
+// clock). It forbids:
+//
+//   - time.Now / time.Since — wall-clock reads; use sim.Env.Now / the
+//     engine clock.
+//   - global math/rand and math/rand/v2 functions — draws from the
+//     process-global source; use the engine RNG (sim.RNG.Stream).
+//     Constructors (rand.New, rand.NewPCG, ...) are allowed: they build
+//     seeded sources.
+//   - go statements — scheduler interleaving is nondeterministic.
+//   - ranging over a map — iteration order varies per run; iterate a
+//     sorted key slice, or annotate `//bzlint:ordered <reason>` when the
+//     loop body is genuinely order-insensitive.
+
+// randConstructors are the math/rand(/v2) package-level functions that
+// build seeded generators rather than drawing from the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewPCG": true, "NewChaCha8": true,
+	"NewSource": true, "NewZipf": true,
+}
+
+func runDeterminism(p *pass) {
+	const an = "determinism"
+	info := p.pkg.Info
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.report(f, n.Pos(), an,
+					"go statement in deterministic package "+p.pkg.Name,
+					"goroutine interleaving is nondeterministic; keep the tick path single-threaded (parallelism lives in internal/runner)")
+			case *ast.CallExpr:
+				fn := calleeFunc(info, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil &&
+						(fn.Name() == "Now" || fn.Name() == "Since") {
+						p.report(f, n.Pos(), an,
+							fmt.Sprintf("time.%s reads the wall clock in deterministic package %s", fn.Name(), p.pkg.Name),
+							"use the simulated clock (sim.Env.Now / Engine.Clock)")
+					}
+				case "math/rand", "math/rand/v2":
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil &&
+						!randConstructors[fn.Name()] {
+						p.report(f, n.Pos(), an,
+							fmt.Sprintf("global %s.%s draws from the process-wide source in deterministic package %s",
+								fn.Pkg().Name(), fn.Name(), p.pkg.Name),
+							"draw from the engine RNG (sim.Env.RNG / RNG.Stream)")
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if p.orderedWaiver(f, n.Pos()) || p.waived(f, n.Pos(), an) {
+					return true
+				}
+				p.report(f, n.Pos(), an,
+					"map iteration order is nondeterministic in deterministic package "+p.pkg.Name,
+					"iterate a sorted key slice, or annotate //bzlint:ordered <reason> if the body is order-insensitive")
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves a call expression's static callee, if any.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

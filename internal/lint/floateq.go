@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The floateq analyzer flags == and != between floating-point operands.
+// Accumulated rounding makes exact float equality a latent bug in
+// control code; comparisons should use an epsilon or integer/fixed-point
+// keys. The two deliberate exceptions in this repository — the exact-key
+// memo caches (psychro lookups keyed on bit-identical steady-state
+// temperatures) and NaN sentinels — carry //bzlint:allow floateq
+// waivers stating so.
+func runFloatEq(p *pass) {
+	const an = "floateq"
+	info := p.pkg.Info
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatType(info.TypeOf(be.X)) && !isFloatType(info.TypeOf(be.Y)) {
+				return true
+			}
+			// A comparison folded at compile time costs nothing at run
+			// time and cannot drift.
+			if tv, ok := info.Types[be]; ok && tv.Value != nil {
+				return true
+			}
+			p.report(f, be.Pos(), an,
+				"exact floating-point "+be.Op.String()+" comparison",
+				"compare with an epsilon, or annotate //bzlint:allow floateq <reason> for exact-key memos and sentinels")
+			return true
+		})
+	}
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

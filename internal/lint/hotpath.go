@@ -1,0 +1,300 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The hotpath analyzer holds every function reachable from a
+// //bzlint:hotpath root to the tick kernel's zero-allocation standard.
+// Roots are the per-tick entry points (Engine.RunTicks dispatch,
+// Room.Step, Network.Step, the glue, the module controllers); the
+// analyzer walks the static call graph from them — direct calls and
+// method calls with concrete receivers; interface dispatch and stored
+// function values are boundaries, which is why each concrete Step
+// implementation carries its own root marker — and flags
+// allocation-prone constructs in every reached function:
+//
+//   - fmt.Sprintf / fmt.Errorf (and siblings) — formatting allocates;
+//     hot paths use preopened handles and precomputed strings.
+//   - non-constant string concatenation — allocates a new string.
+//   - append to a slice declared locally without capacity — grows by
+//     reallocation; preallocate with make(T, 0, n) or reuse an owned
+//     scratch buffer.
+//   - closures capturing enclosing variables — the capture escapes to
+//     the heap when the closure does.
+//
+// Cold exits inside hot functions (error returns on cancellation) carry
+// //bzlint:allow hotpath waivers.
+
+// fmtAllocFuncs are the fmt package-level functions whose call implies a
+// formatting pass and at least one allocation.
+var fmtAllocFuncs = map[string]bool{
+	"Sprintf": true, "Errorf": true, "Sprint": true, "Sprintln": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true, "Appendf": true,
+}
+
+// hotDecl is one function declaration visible to the call-graph walk.
+type hotDecl struct {
+	pkg  *Package
+	file *ast.File
+	decl *ast.FuncDecl
+	name string // display name: pkg.Recv.Func
+}
+
+func runHotpath(pkgs []*Package, passes map[*Package]*pass) {
+	decls := map[string]*hotDecl{} // by types.Func.FullName
+	var rootKeys []string
+	rootName := map[string]string{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				hd := &hotDecl{pkg: pkg, file: f, decl: fd, name: displayName(pkg, fd)}
+				decls[obj.FullName()] = hd
+				if isHotpathRoot(fd) {
+					rootKeys = append(rootKeys, obj.FullName())
+					rootName[obj.FullName()] = hd.name
+				}
+			}
+		}
+	}
+
+	// BFS over static call edges; reachedFrom records the root that
+	// first tainted each function, for the diagnostic text.
+	reachedFrom := map[string]string{}
+	queue := make([]string, 0, len(rootKeys))
+	for _, k := range rootKeys {
+		reachedFrom[k] = rootName[k]
+		queue = append(queue, k)
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		hd := decls[key]
+		root := reachedFrom[key]
+		ast.Inspect(hd.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(hd.pkg.Info, call)
+			if fn == nil {
+				return true
+			}
+			ck := fn.FullName()
+			if _, seen := reachedFrom[ck]; seen {
+				return true
+			}
+			if _, have := decls[ck]; !have {
+				return true
+			}
+			reachedFrom[ck] = root
+			queue = append(queue, ck)
+			return true
+		})
+	}
+
+	for key, root := range reachedFrom {
+		hd := decls[key]
+		checkHotBody(passes[hd.pkg], hd, root)
+	}
+}
+
+// isHotpathRoot reports whether the function's doc comment carries the
+// //bzlint:hotpath marker.
+func isHotpathRoot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == dirHotpath {
+			return true
+		}
+	}
+	return false
+}
+
+// displayName renders pkg-qualified Recv.Name for diagnostics.
+func displayName(pkg *Package, fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			name = id.Name + "." + name
+		}
+	}
+	return pkg.Name + "." + name
+}
+
+// checkHotBody flags allocation-prone constructs in one hot function.
+func checkHotBody(p *pass, hd *hotDecl, root string) {
+	const an = "hotpath"
+	info := p.pkg.Info
+	fresh := freshSlices(info, hd.decl)
+	suffix := fmt.Sprintf(" in hot path %s (reachable from %s)", hd.name, root)
+
+	ast.Inspect(hd.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "fmt" && fmtAllocFuncs[fn.Name()] {
+				p.report(hd.file, n.Pos(), an,
+					"fmt."+fn.Name()+" allocates"+suffix,
+					"precompute the string, use a preopened handle, or waive a cold exit with //bzlint:allow hotpath <reason>")
+				return true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(n.Args) > 0 {
+					if arg, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok {
+						if obj, ok := info.Uses[arg].(*types.Var); ok && fresh[obj] {
+							p.report(hd.file, n.Pos(), an,
+								"append to "+arg.Name+", a fresh slice with no preallocated capacity,"+suffix,
+								"size it up front with make(len 0, cap n) or reuse an owned scratch buffer")
+						}
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(info, n) {
+				p.report(hd.file, n.Pos(), an,
+					"string concatenation allocates"+suffix,
+					"precompute the string outside the tick loop")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.TypeOf(n.Lhs[0])) {
+				p.report(hd.file, n.Pos(), an,
+					"string += allocates"+suffix,
+					"accumulate into a preallocated []byte or strings.Builder outside the tick loop")
+			}
+		case *ast.FuncLit:
+			if cap := capturedVar(info, hd.decl, n); cap != "" {
+				p.report(hd.file, n.Pos(), an,
+					"closure captures "+cap+" and escapes"+suffix,
+					"hoist the closure out of the tick path or pass state explicitly")
+			}
+			return false // captures inside nested closures are reported once
+		}
+		return true
+	})
+}
+
+// freshSlices collects local slice variables declared with no capacity:
+// `var s []T`, `s := []T{}`, `s := make([]T, n)` (no cap argument), or
+// `s := nil`-equivalent forms. Appending to these grows by doubling.
+func freshSlices(info *types.Info, fd *ast.FuncDecl) map[*types.Var]bool {
+	fresh := map[*types.Var]bool{}
+	mark := func(id *ast.Ident) {
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+				fresh[v] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GenDecl:
+			if n.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, id := range vs.Names {
+					mark(id)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if isCapacityless(info, n.Rhs[i]) {
+					mark(id)
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isCapacityless reports whether expr initializes a slice with no spare
+// capacity: nil, an empty composite literal, or make without a cap arg.
+func isCapacityless(info *types.Info, expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := info.Uses[id].(*types.Builtin)
+		return ok && b.Name() == "make" && len(e.Args) < 3
+	}
+	return false
+}
+
+// capturedVar returns the name of the first variable the closure
+// captures from its enclosing function, or "".
+func capturedVar(info *types.Info, outer *ast.FuncDecl, lit *ast.FuncLit) string {
+	found := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function (including
+		// its receiver and parameters) but outside the literal itself.
+		if v.Pos() >= outer.Pos() && v.Pos() < outer.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			found = v.Name()
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isNonConstString reports whether the expression is a string-typed
+// operation not folded at compile time.
+func isNonConstString(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value == nil && isStringType(tv.Type)
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Config scopes the analyzers per package (by package base name, which
+// is unambiguous in this repository).
+type Config struct {
+	// Deterministic lists the packages whose code must replay
+	// bit-identically from a seed: the determinism analyzer forbids wall
+	// clocks, global math/rand, goroutine launches, and unordered map
+	// iteration there.
+	Deterministic map[string]bool
+	// FloatEq lists the packages where ==/!= between floating-point
+	// operands is flagged. Exact float comparison is occasionally
+	// intentional (fixed-point caches, sentinel values); those sites
+	// carry //bzlint:allow floateq waivers.
+	FloatEq map[string]bool
+}
+
+// DefaultConfig is the repository policy: the deterministic set is every
+// package on the seeded replay path (one stray time.Now() or map-order
+// dependence there silently breaks the golden Fig10 SHA), and the float
+// comparison rule covers the same set plus psychro, whose exact-key
+// memos are the approved — and annotated — exception.
+func DefaultConfig() Config {
+	det := map[string]bool{
+		"sim": true, "core": true, "wsn": true, "adaptive": true,
+		"fault": true, "thermal": true, "hydraulic": true,
+		"radiant": true, "vent": true, "multihop": true, "trace": true,
+	}
+	feq := map[string]bool{"psychro": true}
+	for k := range det {
+		feq[k] = true
+	}
+	return Config{Deterministic: det, FloatEq: feq}
+}
+
+// Diagnostic is one finding, carrying the position, the analyzer that
+// produced it, the violation, and a suggested rewrite.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	Hint     string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Directive comments recognized in linted source:
+//
+//	//bzlint:ordered <reason>            waives a map-range on the same or next line
+//	//bzlint:allow <analyzer> <reason>   waives that analyzer on the same or next line
+//	//bzlint:hotpath                     marks the function below as a hot-path root
+//
+// A waiver without a reason is itself a diagnostic: the point of a
+// waiver is the recorded justification.
+const (
+	dirOrdered = "//bzlint:ordered"
+	dirAllow   = "//bzlint:allow"
+	dirHotpath = "//bzlint:hotpath"
+)
+
+// fileDirectives indexes one file's bzlint comments by line.
+type fileDirectives struct {
+	ordered map[int]string            // line → reason
+	allow   map[int]map[string]string // line → analyzer → reason
+}
+
+// pass bundles what every analyzer needs: the package under analysis,
+// the waiver index, and the diagnostic sink.
+type pass struct {
+	pkg  *Package
+	fset *token.FileSet
+	dirs map[*ast.File]*fileDirectives
+	out  *[]Diagnostic
+}
+
+// parseDirectives scans a file's comments, indexes waivers by line, and
+// reports malformed directives (unknown verb, missing reason) so a bad
+// waiver cannot silently disable a check.
+func parseDirectives(p *pass, f *ast.File) *fileDirectives {
+	d := &fileDirectives{ordered: map[int]string{}, allow: map[int]map[string]string{}}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, "//bzlint:") {
+				continue
+			}
+			line := p.fset.Position(c.Pos()).Line
+			switch {
+			case strings.HasPrefix(text, dirOrdered):
+				reason := strings.TrimSpace(strings.TrimPrefix(text, dirOrdered))
+				if reason == "" {
+					p.emit(c.Pos(), "bzlint", "//bzlint:ordered waiver without a reason", "state why the loop body is order-insensitive")
+					continue
+				}
+				d.ordered[line] = reason
+			case strings.HasPrefix(text, dirAllow):
+				fields := strings.Fields(strings.TrimPrefix(text, dirAllow))
+				if len(fields) < 2 {
+					p.emit(c.Pos(), "bzlint", "//bzlint:allow waiver needs an analyzer and a reason", "write //bzlint:allow <analyzer> <reason>")
+					continue
+				}
+				if d.allow[line] == nil {
+					d.allow[line] = map[string]string{}
+				}
+				d.allow[line][fields[0]] = strings.Join(fields[1:], " ")
+			case text == dirHotpath:
+				// Consumed by the hotpath analyzer via FuncDecl docs.
+			default:
+				p.emit(c.Pos(), "bzlint", fmt.Sprintf("unknown bzlint directive %q", text), "known directives: ordered, allow, hotpath")
+			}
+		}
+	}
+	return d
+}
+
+// waived reports whether a diagnostic from the analyzer at pos is
+// covered by an allow waiver on the same line or the line above.
+func (p *pass) waived(f *ast.File, pos token.Pos, analyzer string) bool {
+	d := p.dirs[f]
+	line := p.fset.Position(pos).Line
+	for _, l := range [2]int{line, line - 1} {
+		if reason, ok := d.allow[l][analyzer]; ok && reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// orderedWaiver reports whether a map-range at pos carries a
+// //bzlint:ordered waiver (same line or line above).
+func (p *pass) orderedWaiver(f *ast.File, pos token.Pos) bool {
+	d := p.dirs[f]
+	line := p.fset.Position(pos).Line
+	return d.ordered[line] != "" || d.ordered[line-1] != ""
+}
+
+// emit appends a diagnostic unconditionally (waiver checks happen at the
+// call sites, where the owning file is known).
+func (p *pass) emit(pos token.Pos, analyzer, msg, hint string) {
+	*p.out = append(*p.out, Diagnostic{Pos: p.fset.Position(pos), Analyzer: analyzer, Message: msg, Hint: hint})
+}
+
+// report emits unless an allow waiver covers the line.
+func (p *pass) report(f *ast.File, pos token.Pos, analyzer, msg, hint string) {
+	if p.waived(f, pos, analyzer) {
+		return
+	}
+	p.emit(pos, analyzer, msg, hint)
+}
+
+// Run executes the four analyzers over pkgs and returns the surviving
+// diagnostics in file/line order. The hot-path call graph is built over
+// the whole package set, so roots in one package taint their callees in
+// another.
+func Run(fset *token.FileSet, pkgs []*Package, cfg Config) []Diagnostic {
+	var out []Diagnostic
+	passes := make(map[*Package]*pass, len(pkgs))
+	for _, pkg := range pkgs {
+		p := &pass{pkg: pkg, fset: fset, dirs: map[*ast.File]*fileDirectives{}, out: &out}
+		for _, f := range pkg.Files {
+			p.dirs[f] = parseDirectives(p, f)
+		}
+		passes[pkg] = p
+	}
+	for _, pkg := range pkgs {
+		p := passes[pkg]
+		if cfg.Deterministic[pkg.Name] {
+			runDeterminism(p)
+		}
+		if cfg.FloatEq[pkg.Name] {
+			runFloatEq(p)
+		}
+	}
+	runHotpath(pkgs, passes)
+	runDeprecated(pkgs, passes)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}

@@ -1,0 +1,234 @@
+// Package lint is bzlint's analysis engine: a stdlib-only static
+// analyzer suite (go/parser + go/types, imports resolved through
+// go/importer's source importer so go.mod stays dependency-free) that
+// enforces the repository's determinism and hot-path invariants at
+// compile time. See DESIGN.md §7 "Static invariants" for the policy the
+// analyzers encode and the waiver-comment syntax.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path
+	Name  string // package base name ("wsn", "sim", ...)
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks module packages. Module-internal imports
+// are resolved against the loader's own cache (each package is checked
+// exactly once, so type objects are pointer-identical across importers),
+// and everything else falls through to the source importer, which
+// type-checks the standard library from source — no compiler export data
+// and no external dependencies.
+type Loader struct {
+	Fset    *token.FileSet
+	modPath string
+	modDir  string
+
+	pkgs     map[string]*Package // by import path, fully checked
+	loading  map[string]bool     // import-cycle guard
+	fallback types.ImporterFrom
+}
+
+// NewLoader returns a loader rooted at the module containing dir: the
+// nearest ancestor of dir with a go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir := abs
+	for {
+		if _, err := os.Stat(filepath.Join(modDir, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(modDir)
+		if parent == modDir {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		modDir = parent
+	}
+	data, err := os.ReadFile(filepath.Join(modDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", modDir)
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		modPath: modPath,
+		modDir:  modDir,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	if src, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom); ok {
+		l.fallback = src
+	} else {
+		return nil, fmt.Errorf("lint: source importer unavailable")
+	}
+	return l, nil
+}
+
+// Import implements types.Importer over the loader's cache, so packages
+// under the module path are type-checked by the loader itself and shared
+// by identity between the packages that import them.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		pkg, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.fallback.Import(path)
+}
+
+// loadPath loads the module-internal package with the given import path.
+func (l *Loader) loadPath(path string) (*Package, error) {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+	return l.LoadDir(filepath.Join(l.modDir, filepath.FromSlash(rel)), path)
+}
+
+// LoadDir parses and type-checks the package in dir under the given
+// import path. Test files (_test.go) are excluded: the analyzers enforce
+// invariants on shipped code, and test packages range over maps and
+// format strings freely. Results are cached by import path.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	name := ""
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") ||
+			strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		name = f.Name.Name
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Name: name, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Load resolves the given patterns ("./...", "./internal/wsn",
+// "./internal/...") relative to the module root and returns the matched
+// packages in deterministic (import path) order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		switch {
+		case pat == "..." || pat == "./...":
+			if err := l.walk(l.modDir, dirs); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			root := filepath.Join(l.modDir, filepath.FromSlash(strings.TrimSuffix(pat, "/...")))
+			if err := l.walk(root, dirs); err != nil {
+				return nil, err
+			}
+		default:
+			dirs[filepath.Join(l.modDir, filepath.FromSlash(pat))] = true
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	var pkgs []*Package
+	for _, dir := range sorted {
+		rel, err := filepath.Rel(l.modDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.modPath
+		if rel != "." {
+			path += "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// walk collects every directory under root holding at least one
+// non-test Go file, skipping testdata, hidden, and VCS directories.
+func (l *Loader) walk(root string, dirs map[string]bool) error {
+	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			base := d.Name()
+			if path != root && (base == "testdata" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+}

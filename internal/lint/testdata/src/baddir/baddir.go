@@ -1,0 +1,17 @@
+// Package baddir is a malformed-directive fixture: a reasonless
+// //bzlint:ordered and an unknown directive verb each produce a
+// meta-diagnostic, and the reasonless waiver does not suppress the
+// map-range diagnostic it sits on.
+package baddir
+
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//bzlint:ordered
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+//bzlint:frobnicate not a directive
+func other() {}

@@ -1,0 +1,33 @@
+// Package floatcmp is a floateq-analyzer fixture: runtime ==/!= between
+// float operands is flagged; integer compares, compile-time-constant
+// compares, and waived exact-key memos are not.
+package floatcmp
+
+func exactEqual(a, b float64) bool {
+	return a == b // want `exact floating-point == comparison`
+}
+
+func exactNotEqual(a float32, b float64) bool {
+	return float64(a) != b // want `exact floating-point != comparison`
+}
+
+func intEqual(a, b int) bool {
+	return a == b // integers compare exactly: not flagged
+}
+
+func constFolded() bool {
+	return 1.5 == 3.0/2.0 // folded at compile time: not flagged
+}
+
+type memo struct {
+	key   float64
+	value float64
+}
+
+func (m *memo) lookup(key float64) (float64, bool) {
+	//bzlint:allow floateq fixture: exact-key memo, NaN keys never match
+	if m.key == key {
+		return m.value, true
+	}
+	return 0, false
+}

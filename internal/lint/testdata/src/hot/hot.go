@@ -1,0 +1,44 @@
+// Package hot is a hotpath-analyzer fixture: tick is the root, format /
+// label / waivedErr are reached through the call graph, and coldReport
+// is not reachable and so never flagged.
+package hot
+
+import "fmt"
+
+//bzlint:hotpath
+func tick(values []float64) string {
+	out := format(values[0])
+	out += label() // want `string \+= allocates`
+	var fresh []int
+	fresh = append(fresh, 1) // want `append to fresh, a fresh slice`
+	_ = fresh
+	sized := make([]int, 0, 8)
+	sized = append(sized, 2) // preallocated capacity: not flagged
+	_ = sized
+	f := func() float64 { return values[0] } // want `closure captures values`
+	_ = f
+	_ = waivedErr(nil)
+	return out
+}
+
+func format(v float64) string {
+	return fmt.Sprintf("%0.2f", v) // want `fmt\.Sprintf allocates`
+}
+
+func label() string {
+	return "t=" + suffix() // want `string concatenation allocates`
+}
+
+func suffix() string { return "s" }
+
+func coldReport(v float64) string {
+	return fmt.Sprintf("cold %v", v) // unreachable from the root: not flagged
+}
+
+func waivedErr(err error) error {
+	if err != nil {
+		//bzlint:allow hotpath fixture: cold rejection path
+		return fmt.Errorf("hot: %w", err)
+	}
+	return nil
+}

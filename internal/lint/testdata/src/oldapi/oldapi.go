@@ -1,0 +1,29 @@
+// Package oldapi is a deprecated-analyzer fixture: references to a
+// // Deprecated: function are flagged, recursive self-references inside
+// the deprecated body and calls to the replacement are not.
+package oldapi
+
+// Old is the stalled half of a migration.
+//
+// Deprecated: use Current instead.
+func Old(n int) int {
+	if n > 1 {
+		return Old(n - 1) // self-reference inside the deprecated body: not flagged
+	}
+	return Current(n)
+}
+
+// Current is the replacement API.
+func Current(n int) int { return n }
+
+func caller() int {
+	return Old(3) // want `reference to deprecated .*oldapi\.Old`
+}
+
+func modernCaller() int {
+	return Current(3) // replacement API: not flagged
+}
+
+func takeRef() func(int) int {
+	return Old // want `reference to deprecated .*oldapi\.Old`
+}

@@ -1,0 +1,37 @@
+// Package sim is a determinism-analyzer fixture: its package name puts
+// it in the fixture config's deterministic set, so wall-clock reads,
+// global rand draws, and go statements below must all be flagged.
+package sim
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t := time.Now()       // want `time\.Now reads the wall clock`
+	return time.Since(t)  // want `time\.Since reads the wall clock`
+}
+
+func globalRand() int {
+	return rand.IntN(6) // want `global rand\.IntN draws from the process-wide source`
+}
+
+func seededRand() *rand.Rand {
+	// Constructors build seeded sources and are allowed.
+	return rand.New(rand.NewPCG(1, 2))
+}
+
+func launch(fn func()) {
+	go fn() // want `go statement in deterministic package sim`
+}
+
+func simulatedClock(now time.Time) time.Time {
+	// Arithmetic on an injected time value is deterministic.
+	return now.Add(time.Second)
+}
+
+func waivedClock() time.Time {
+	//bzlint:allow determinism fixture: cold path outside the replay loop
+	return time.Now()
+}

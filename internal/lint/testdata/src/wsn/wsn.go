@@ -1,0 +1,32 @@
+// Package wsn is a map-iteration fixture for the determinism analyzer:
+// a bare map range is flagged, an //bzlint:ordered range and a slice
+// range are not.
+package wsn
+
+import "sort"
+
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+func orderedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//bzlint:ordered keys are collected and sorted before any ordered use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs { // slice iteration is deterministic
+		total += v
+	}
+	return total
+}

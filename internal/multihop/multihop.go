@@ -310,6 +310,7 @@ func (n *Network) Connected() bool {
 	if n.adjDirty {
 		n.rebuildAdjacency()
 	}
+	//bzlint:ordered pure for-all predicate; the result is independent of type visit order
 	for t := range n.producedTypes() {
 		dist := n.bfsFromProducers(t)
 		for i, node := range n.nodes {
@@ -324,6 +325,7 @@ func (n *Network) Connected() bool {
 func (n *Network) producedTypes() map[wsn.MsgType]bool {
 	out := make(map[wsn.MsgType]bool)
 	for _, node := range n.nodes {
+		//bzlint:ordered commutative set union into out
 		for t := range node.produces {
 			out[t] = true
 		}
@@ -406,6 +408,7 @@ func (n *Network) meshFor(t wsn.MsgType) map[int]bool {
 			continue
 		}
 		dp := n.bfsFrom(pi)
+		//bzlint:ordered commutative set union into m; each (producer, consumer) pair contributes independently
 		for ci, dc := range consumerDist {
 			target := dp[ci]
 			if target < 0 {

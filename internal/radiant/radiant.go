@@ -263,6 +263,8 @@ func (m *Module) PumpPowerW() float64 {
 
 // Step implements sim.Component: one pass of the §III-B control law
 // followed by the hydraulic update.
+//
+//bzlint:hotpath
 func (m *Module) Step(env *sim.Env) {
 	dt := env.Dt()
 	tSupp := m.tank.Temp()

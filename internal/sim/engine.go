@@ -80,7 +80,7 @@ var ErrStopped = errors.New("sim: stopped by condition")
 // Scheduling is cadence-aware: every-tick components (the default) are
 // stepped on every tick, components implementing Cadenced sit on a
 // due-wheel and are stepped only on the ticks their own accumulators say
-// are due, and AddOnDemand components run only on ticks they were woken
+// are due, and on-demand components run only on ticks they were woken
 // for. Within any single tick the active components still step in
 // registration order, so the schedule is observationally identical to
 // stepping everything every tick — skipped ticks are exactly the ticks on
@@ -117,23 +117,13 @@ func (e *Engine) RNG() *RNG { return e.rng }
 // events (door openings, setpoint changes, ...).
 func (e *Engine) Timeline() *Timeline { return e.timeline }
 
-// Add registers components in step order. A component that also
-// implements Cadenced is placed on the due-wheel and stepped only on its
-// due ticks; everything else is stepped every tick.
-//
-// Deprecated: use Register, which also returns the scheduling handle.
-func (e *Engine) Add(cs ...Component) {
-	for _, c := range cs {
-		e.Register(c)
-	}
-}
-
 // SetStopCondition installs a predicate checked after every tick; when it
 // returns true Run stops early with ErrStopped. The predicate sees
 // every-tick components fully stepped; cadenced components are caught up
 // to their last due tick only (their internal state flushes when the run
 // returns). A stop condition that needs exact per-tick state of a
-// cadenced component should register that component with Add instead.
+// cadenced component should register that component with Register
+// (every-tick, the default) instead.
 func (e *Engine) SetStopCondition(fn func(env *Env) bool) {
 	e.stopFn = fn
 }
@@ -180,6 +170,8 @@ func (e *Engine) RunFor(ctx context.Context, d time.Duration) error {
 // completion, stop condition, cancellation — cadenced components are
 // caught up through the last executed tick, so post-run observers read
 // exactly the state per-tick stepping would have produced.
+//
+//bzlint:hotpath
 func (e *Engine) RunTicks(ctx context.Context, n uint64) error {
 	env := NewEnv(e.clock, e.rng)
 	ctxCheckEvery := e.ctxCheckEvery()
@@ -188,6 +180,7 @@ func (e *Engine) RunTicks(ctx context.Context, n uint64) error {
 			select {
 			case <-ctx.Done():
 				e.catchUp(env)
+				//bzlint:allow hotpath cold cancellation exit, runs at most once per run
 				return fmt.Errorf("sim: run: %w", ctx.Err())
 			default:
 			}

@@ -7,83 +7,71 @@ import (
 	"time"
 )
 
-// Register API tests: option composition, the deprecated wrappers'
-// equivalence to their Register spellings, and the fault-suspension
-// semantics WithFaultable arms.
+// Register API tests: default scheduling, option composition, and the
+// fault-suspension semantics WithFaultable arms.
 
-func TestRegisterDefaultsMatchAdd(t *testing.T) {
-	// A plain component and a Cadenced one, registered through Add and
-	// through Register, must produce identical runs.
-	runWith := func(add bool) (plainTicks uint64, dev *accumCadenced) {
-		e := NewEngine(MustClock(testStart, time.Second), 1)
-		var n uint64
-		plain := ComponentFunc{ID: "plain", Fn: func(*Env) { n++ }}
-		dev = &accumCadenced{name: "dev", periodS: 3}
-		if add {
-			e.Add(plain, dev)
-		} else {
-			e.Register(plain)
-			e.Register(dev)
-		}
-		if err := e.RunTicks(context.Background(), 20); err != nil {
-			t.Fatal(err)
-		}
-		return n, dev
+func TestRegisterDefaults(t *testing.T) {
+	// Register with no options puts a plain component on the every-tick
+	// path and a Cadenced one on the due-wheel, with identical observable
+	// behavior: the accumulator covers every tick and fires on schedule.
+	e := NewEngine(MustClock(testStart, time.Second), 1)
+	var n uint64
+	e.Register(ComponentFunc{ID: "plain", Fn: func(*Env) { n++ }})
+	dev := &accumCadenced{name: "dev", periodS: 3}
+	e.Register(dev)
+	if err := e.RunTicks(context.Background(), 20); err != nil {
+		t.Fatal(err)
 	}
-	an, adev := runWith(true)
-	rn, rdev := runWith(false)
-	if an != rn {
-		t.Errorf("plain component: Add stepped %d, Register %d", an, rn)
+	if n != 20 {
+		t.Errorf("plain component stepped %d times, want every tick (20)", n)
 	}
-	if fmt.Sprint(adev.fires) != fmt.Sprint(rdev.fires) || adev.ticks != rdev.ticks {
-		t.Errorf("cadenced component diverged: Add %v/%d, Register %v/%d",
-			adev.fires, adev.ticks, rdev.fires, rdev.ticks)
+	if dev.ticks != 20 {
+		t.Errorf("cadenced bookkeeping covers %d ticks, want 20", dev.ticks)
+	}
+	want := []uint64{2, 5, 8, 11, 14, 17}
+	if fmt.Sprint(dev.fires) != fmt.Sprint(want) {
+		t.Errorf("cadenced fires = %v, want %v", dev.fires, want)
+	}
+	stats := e.StepStats()
+	if stats[0].Kind != "every-tick" || stats[1].Kind != "cadenced" {
+		t.Errorf("stats kinds = %s/%s, want every-tick/cadenced", stats[0].Kind, stats[1].Kind)
 	}
 }
 
-func TestAddEveryMatchesWithCadence(t *testing.T) {
-	runWith := func(wrapper bool) []uint64 {
-		e := NewEngine(MustClock(testStart, time.Second), 1)
-		var ticks []uint64
-		c := ComponentFunc{ID: "log", Fn: func(env *Env) { ticks = append(ticks, env.Tick()) }}
-		if wrapper {
-			e.AddEvery(4*time.Second, c)
-		} else {
-			e.Register(c, WithCadence(4*time.Second))
-		}
-		if err := e.RunTicks(context.Background(), 13); err != nil {
-			t.Fatal(err)
-		}
-		return ticks
+func TestWithCadenceSchedule(t *testing.T) {
+	// WithCadence forces a plain component onto the wheel: stepped on the
+	// registration tick and every period thereafter.
+	e := NewEngine(MustClock(testStart, time.Second), 1)
+	var ticks []uint64
+	c := ComponentFunc{ID: "log", Fn: func(env *Env) { ticks = append(ticks, env.Tick()) }}
+	e.Register(c, WithCadence(4*time.Second))
+	if err := e.RunTicks(context.Background(), 13); err != nil {
+		t.Fatal(err)
 	}
-	if a, r := runWith(true), runWith(false); fmt.Sprint(a) != fmt.Sprint(r) {
-		t.Errorf("AddEvery stepped on %v, Register(WithCadence) on %v", a, r)
+	want := []uint64{0, 4, 8, 12}
+	if fmt.Sprint(ticks) != fmt.Sprint(want) {
+		t.Errorf("Register(WithCadence(4s)) stepped on %v, want %v", ticks, want)
 	}
 }
 
-func TestAddOnDemandMatchesWithOnDemand(t *testing.T) {
-	runWith := func(wrapper bool) []uint64 {
-		e := NewEngine(MustClock(testStart, time.Second), 1)
-		var stepped []uint64
-		var wake func()
-		e.Register(ComponentFunc{ID: "producer", Fn: func(env *Env) {
-			if env.Tick()%3 == 0 {
-				wake()
-			}
-		}})
-		c := ComponentFunc{ID: "net", Fn: func(env *Env) { stepped = append(stepped, env.Tick()) }}
-		if wrapper {
-			wake = e.AddOnDemand(c)
-		} else {
-			wake = e.Register(c, WithOnDemand()).Wake
+func TestWithOnDemandSameTickWake(t *testing.T) {
+	// A wake from an earlier-ordered component lands on the same tick.
+	e := NewEngine(MustClock(testStart, time.Second), 1)
+	var stepped []uint64
+	var wake func()
+	e.Register(ComponentFunc{ID: "producer", Fn: func(env *Env) {
+		if env.Tick()%3 == 0 {
+			wake()
 		}
-		if err := e.RunTicks(context.Background(), 10); err != nil {
-			t.Fatal(err)
-		}
-		return stepped
+	}})
+	c := ComponentFunc{ID: "net", Fn: func(env *Env) { stepped = append(stepped, env.Tick()) }}
+	wake = e.Register(c, WithOnDemand()).Wake
+	if err := e.RunTicks(context.Background(), 10); err != nil {
+		t.Fatal(err)
 	}
-	if a, r := runWith(true), runWith(false); fmt.Sprint(a) != fmt.Sprint(r) {
-		t.Errorf("AddOnDemand stepped on %v, Register(WithOnDemand) on %v", a, r)
+	want := []uint64{0, 3, 6, 9}
+	if fmt.Sprint(stepped) != fmt.Sprint(want) {
+		t.Errorf("Register(WithOnDemand) stepped on %v, want %v", stepped, want)
 	}
 }
 

@@ -1,10 +1,8 @@
 package sim
 
-import "time"
-
 // Cadenced is an optional extension of Component for participants whose
 // observable work happens only on a sparse, self-predictable set of ticks
-// (sensor sampling loops, periodic broadcasters). Engine.Add schedules a
+// (sensor sampling loops, periodic broadcasters). Engine.Register places a
 // Cadenced component on the due-wheel: instead of a Step call on every
 // tick it receives one StepN call on each due tick covering every tick
 // since the previous one. Always-on physics (thermal zones, hydraulic
@@ -180,7 +178,7 @@ func (w *farHeap) pop() *entry {
 	return top
 }
 
-// fixedCadence adapts a plain Component registered via Engine.AddEvery to
+// fixedCadence adapts a plain Component registered with WithCadence to
 // the wheel: it is due on the registration tick and every periodTicks
 // thereafter, and skipped ticks are genuinely skipped (the wrapped
 // component sees no catch-up calls for them).
@@ -248,21 +246,4 @@ func (e *Engine) StepStats() []ComponentStats {
 		}
 	}
 	return out
-}
-
-// AddEvery registers c on the due-wheel with a fixed cadence: it is
-// stepped on the registration tick and every period thereafter.
-//
-// Deprecated: use Register with WithCadence.
-func (e *Engine) AddEvery(period time.Duration, c Component) {
-	e.Register(c, WithCadence(period))
-}
-
-// AddOnDemand registers c to be stepped, at its position in the
-// registration order, only on ticks during which the returned wake
-// function was called.
-//
-// Deprecated: use Register with WithOnDemand and the handle's Wake.
-func (e *Engine) AddOnDemand(c Component) (wake func()) {
-	return e.Register(c, WithOnDemand()).Wake
 }

@@ -274,37 +274,37 @@ func TestCompletionCatchesUp(t *testing.T) {
 	}
 }
 
-// TestAddEveryFixedCadence pins AddEvery semantics: due on the
+// TestFixedCadenceSchedule pins WithCadence semantics: due on the
 // registration tick and every period thereafter, with sub-step periods
 // clamped to every tick.
-func TestAddEveryFixedCadence(t *testing.T) {
+func TestFixedCadenceSchedule(t *testing.T) {
 	e := NewEngine(MustClock(testStart, time.Second), 1)
 	var ticks []uint64
-	e.AddEvery(3*time.Second, ComponentFunc{ID: "log", Fn: func(env *Env) {
+	e.Register(ComponentFunc{ID: "log", Fn: func(env *Env) {
 		ticks = append(ticks, env.Tick())
-	}})
+	}}, WithCadence(3*time.Second))
 	n := 0
-	e.AddEvery(time.Millisecond, ComponentFunc{ID: "dense", Fn: func(*Env) { n++ }})
+	e.Register(ComponentFunc{ID: "dense", Fn: func(*Env) { n++ }}, WithCadence(time.Millisecond))
 	if err := e.RunTicks(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
 	want := []uint64{0, 3, 6, 9}
 	if fmt.Sprint(ticks) != fmt.Sprint(want) {
-		t.Errorf("AddEvery(3s) stepped on %v, want %v", ticks, want)
+		t.Errorf("WithCadence(3s) stepped on %v, want %v", ticks, want)
 	}
 	if n != 10 {
-		t.Errorf("AddEvery(1ms) stepped %d times, want every tick (10)", n)
+		t.Errorf("WithCadence(1ms) stepped %d times, want every tick (10)", n)
 	}
 	stats := e.StepStats()
 	if stats[0].Kind != "cadenced" || stats[0].Steps != 4 || stats[0].Skipped != 6 {
-		t.Errorf("AddEvery stats = %+v, want cadenced 4/6", stats[0])
+		t.Errorf("WithCadence stats = %+v, want cadenced 4/6", stats[0])
 	}
 }
 
-// TestAddOnDemandWake pins on-demand scheduling: the component steps only
+// TestOnDemandWake pins on-demand scheduling: the component steps only
 // on ticks it was woken for, a wake from an earlier-ordered component
 // lands the same tick, and a wake from outside the run loop is not lost.
-func TestAddOnDemandWake(t *testing.T) {
+func TestOnDemandWake(t *testing.T) {
 	e := NewEngine(MustClock(testStart, time.Second), 1)
 	var stepped []uint64
 	var wake func()
@@ -313,9 +313,9 @@ func TestAddOnDemandWake(t *testing.T) {
 			wake()
 		}
 	}})
-	wake = e.AddOnDemand(ComponentFunc{ID: "net", Fn: func(env *Env) {
+	wake = e.Register(ComponentFunc{ID: "net", Fn: func(env *Env) {
 		stepped = append(stepped, env.Tick())
-	}})
+	}}, WithOnDemand()).Wake
 	if err := e.RunTicks(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
@@ -344,9 +344,9 @@ func TestAddOnDemandWake(t *testing.T) {
 func TestWakeAfterPositionLandsNextTick(t *testing.T) {
 	e := NewEngine(MustClock(testStart, time.Second), 1)
 	var stepped []uint64
-	wake := e.AddOnDemand(ComponentFunc{ID: "net", Fn: func(env *Env) {
+	wake := e.Register(ComponentFunc{ID: "net", Fn: func(env *Env) {
 		stepped = append(stepped, env.Tick())
-	}})
+	}}, WithOnDemand()).Wake
 	e.Register(ComponentFunc{ID: "late-producer", Fn: func(env *Env) {
 		if env.Tick() == 4 {
 			wake()

@@ -284,6 +284,8 @@ func (r *Room) DoorOpenings() int { return r.doorOpenings }
 
 // Step implements sim.Component: forward-Euler integration of the three
 // balances over one tick.
+//
+//bzlint:hotpath
 func (r *Room) Step(env *sim.Env) {
 	dt := env.Dt()
 	out := r.cfg.Outdoor

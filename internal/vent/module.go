@@ -106,6 +106,7 @@ type zoneObs struct {
 // humidityRatio returns HumidityRatio(temp, rh, AtmPressure), cached
 // against the current observation pair.
 func (z *zoneObs) humidityRatio() float64 {
+	//bzlint:allow floateq exact-key memo; NaN keys never match and force recomputation
 	if z.temp == z.wKeyTemp && z.rh == z.wKeyRH {
 		return z.w
 	}
@@ -123,6 +124,7 @@ type memo2 struct {
 }
 
 func (m *memo2) get(a, b float64, f func(a, b float64) float64) float64 {
+	//bzlint:allow floateq exact-key memo; NaN keys never match and force recomputation
 	if m.valid && a == m.a && b == m.b {
 		return m.out
 	}
@@ -342,6 +344,8 @@ func (m *Module) VentInputFor(box int) (volFlow float64, supply psychro.State, s
 }
 
 // Step implements sim.Component: one pass of the §III-C control law.
+//
+//bzlint:hotpath
 func (m *Module) Step(env *sim.Env) {
 	dt := env.Dt()
 	out := m.outdoor()
@@ -403,6 +407,7 @@ func (m *Module) humidityFlow(z *zoneObs, b *Airbox, target float64) float64 {
 	// is fixed), which changes only when a T_supp broadcast moves it; the
 	// memo holds both conversions. A NaN target never matches and
 	// recomputes (propagating NaN exactly as the direct calls would).
+	//bzlint:allow floateq exact-key memo on the sizing target; NaN never matches
 	if !(m.sizingMemo.valid && target == m.sizingMemo.target) {
 		m.sizingMemo.target = target
 		m.sizingMemo.wTarget = psychro.HumidityRatioFromDewPoint(target, psychro.AtmPressure)

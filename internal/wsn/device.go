@@ -156,6 +156,7 @@ func (d *SensorDevice) SetStuck(on bool) {
 // fault clearance models the mote being recalibrated or swapped.
 func (d *SensorDevice) SetDrift(ratePerS float64) {
 	d.driftPerS = ratePerS
+	//bzlint:allow floateq zero is the documented clear-drift sentinel, set literally by fault clearance
 	if ratePerS == 0 {
 		d.driftBias = 0
 	}
@@ -169,6 +170,8 @@ func (d *SensorDevice) Step(env *sim.Env) { d.StepN(env, 1) }
 // calls. The idle drain stays one Battery.Drain per tick — float
 // addition is not associative, so batching k drains into one would
 // change the battery trajectory.
+//
+//bzlint:hotpath
 func (d *SensorDevice) StepN(env *sim.Env, n uint64) {
 	dt := env.Dt()
 	b := d.node.Battery()
@@ -210,6 +213,7 @@ func nextAccumDue(since, dtS, periodS float64) uint64 {
 		if next >= periodS {
 			return n
 		}
+		//bzlint:allow floateq float fixed-point stall guard: dt too small to advance the accumulator
 		if next == since {
 			return neverDue
 		}
@@ -232,6 +236,7 @@ func (d *SensorDevice) sampleOnce() {
 		}
 		value = d.stuckVal
 	}
+	//bzlint:allow floateq zero is the no-drift sentinel, set literally by SetDrift
 	if d.driftPerS != 0 {
 		// One sample per T_spl, so per-sample accumulation integrates the
 		// rate over simulated time without touching the per-tick loop.
@@ -305,6 +310,8 @@ func (p *PeriodicBroadcaster) Step(env *sim.Env) { p.StepN(env, 1) }
 
 // StepN implements sim.Cadenced: n ticks of period accumulation with at
 // most one broadcast per tick, exactly as n Step calls would behave.
+//
+//bzlint:hotpath
 func (p *PeriodicBroadcaster) StepN(env *sim.Env, n uint64) {
 	dt := env.Dt()
 	for ; n > 0; n-- {

@@ -1,6 +1,7 @@
 package wsn
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 
@@ -279,22 +280,37 @@ func (n *Network) AddSniffer(fn func(Message)) {
 	n.sniffers = append(n.sniffers, fn)
 }
 
+// Broadcast rejection reasons. These are fixed sentinel errors rather
+// than formatted ones: Broadcast sits on the per-tick transmit path, and
+// fmt.Errorf would allocate on every rejected packet (a depleted node
+// keeps trying to transmit for the rest of the run).
+var (
+	// ErrNilNode reports a Broadcast from a nil node.
+	ErrNilNode = errors.New("wsn: broadcast from nil node")
+	// ErrUnregisteredNode reports a Broadcast from a node that does not
+	// belong to this network.
+	ErrUnregisteredNode = errors.New("wsn: broadcast from unregistered node")
+	// ErrBatteryDepleted reports a Broadcast from a node whose battery
+	// cannot pay the per-packet transmission energy.
+	ErrBatteryDepleted = errors.New("wsn: broadcast from node with depleted battery")
+)
+
 // Broadcast enqueues a message from the node for transmission during the
 // current tick. The per-packet transmission energy is drained from
 // battery nodes immediately; a depleted battery cannot transmit.
 func (n *Network) Broadcast(node *Node, msg Message) error {
 	if node == nil {
-		return fmt.Errorf("wsn: broadcast from nil node")
+		return ErrNilNode
 	}
 	// Nodes are only created by AddNode, so the back-pointer check is
 	// equivalent to the former map lookup without the per-packet string
 	// hashing.
 	if node.net != n {
-		return fmt.Errorf("wsn: broadcast from unregistered node %q", node.id)
+		return ErrUnregisteredNode
 	}
 	if node.battery != nil {
 		if node.battery.Depleted() {
-			return fmt.Errorf("wsn: node %q battery depleted", node.id)
+			return ErrBatteryDepleted
 		}
 		node.battery.Drain(energy.TxEnergyPerPacketJ)
 	}
@@ -314,6 +330,8 @@ func (n *Network) Stats() Stats { return n.stats }
 // Step implements sim.Component: assigns channel-access offsets, resolves
 // CSMA deferral and CCA-blind collisions, and delivers surviving packets
 // to subscribers and sniffers.
+//
+//bzlint:hotpath
 func (n *Network) Step(env *sim.Env) {
 	if len(n.pending) == 0 {
 		return

@@ -134,6 +134,7 @@ func (s *Sniffer) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sniffer: %d packets, %.2f pkt/s overall\n", s.total, s.Rate())
 	types := make([]MsgType, 0, len(s.byType))
+	//bzlint:ordered keys are collected and sorted before any ordered use
 	for t := range s.byType {
 		types = append(types, t)
 	}
