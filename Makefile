@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-fix-hints race race-fault bench-smoke bench-baseline bench-tick bench-tick-json benchguard ci
+.PHONY: all build test vet lint lint-fix-hints race race-fault bench-smoke bench-baseline bench-tick bench-tick-json bench-fleet bench-fleet-json benchguard ci
 
 all: build
 
@@ -64,13 +64,27 @@ bench-tick-json:
 	$(GO) test -bench 'SystemTick|RoomStep|NetworkStep|ReportGenerate$$' -benchmem -count 6 -run '^$$' . \
 		| tee /dev/stderr | sh scripts/bench_json.sh > BENCH_tick_kernel.json
 
-# Regression gate: fail when the measured ticks/s falls more than
-# BENCHGUARD_PCT (default 10%) below the committed BENCH_tick_kernel.json
-# baseline. Best-of-BENCHGUARD_COUNT runs, so one noisy scheduling slice
+# Fleet-scale smoke: every BenchmarkFleetTick configuration once (100,
+# 1k, and 10k buildings), exercising parallel construction, the memory
+# budget gate, and sharded stepping without paying for a timed run.
+bench-fleet:
+	$(GO) test -bench FleetTick -benchtime 1x -benchmem -run '^$$' .
+
+# Record the fleet scaling numbers (building-ticks/s and bytes/building
+# at N ∈ {100, 1k, 10k}) as BENCH_fleet.json — the table quoted in
+# EXPERIMENTS.md and the baseline scripts/benchguard gates against.
+# Best of -count 3 per configuration (bench_json.sh keeps the fastest).
+bench-fleet-json:
+	$(GO) test -bench FleetTick -benchmem -benchtime 3x -count 3 -run '^$$' . \
+		| tee /dev/stderr | sh scripts/bench_json.sh > BENCH_fleet.json
+
+# Regression gate: fail when a guarded rate (BenchmarkSystemTick ticks/s,
+# BenchmarkFleetTick/N1000xS8 building-ticks/s) falls more than
+# BENCHGUARD_PCT (default 10%) below its committed baseline. Best-of-BENCHGUARD_COUNT runs, so one noisy scheduling slice
 # on a shared machine cannot fail the build. Ordered first in ci: the
 # timing must be taken before the race tests saturate the machine.
 benchguard:
 	sh scripts/benchguard
 
-ci: benchguard vet lint race-fault race bench-smoke bench-tick
+ci: benchguard vet lint race-fault race bench-smoke bench-tick bench-fleet
 	@echo ci: OK

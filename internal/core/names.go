@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"bubblezero/internal/radiant"
+	"bubblezero/internal/thermal"
+	"bubblezero/internal/vent"
+	"bubblezero/internal/wsn"
+)
+
+// Topology names are identical for every System — the deployment shape is
+// fixed by the paper's Figure 8 — so the node ids and RNG stream names are
+// formatted once per process instead of once per instance. At fleet scale
+// this removes ~60 fmt.Sprintf/concat allocations from every building's
+// construction (over a million for a 10k-building fleet) and lets all
+// instances share one set of interned strings.
+//
+// The strings must stay byte-identical to the historical per-instance
+// formatting: RNG stream names feed the seed derivation, so any drift
+// here would silently change every stochastic draw and break the pinned
+// golden traces.
+
+type zoneNames struct {
+	tempID, humID, co2ID wsn.NodeID
+	// RNG stream names ("sensor." prefix included).
+	biasTemp, temp, biasRH, rh, biasCO2, co2 string
+}
+
+type panelNames struct {
+	dewID         wsn.NodeID
+	biasT, biasRH string
+	rng           string
+	c2ID          wsn.NodeID
+}
+
+type boxNames struct {
+	dewID         wsn.NodeID
+	biasT, biasRH string
+	rng           string
+	v2ID, v3ID    wsn.NodeID
+}
+
+type topoNameTable struct {
+	zones  [thermal.NumZones]zoneNames
+	panels [radiant.NumPanels]panelNames
+	boxes  [vent.NumBoxes]boxNames
+}
+
+var topoNames = buildTopoNames()
+
+func buildTopoNames() topoNameTable {
+	var t topoNameTable
+	for z := range t.zones {
+		t.zones[z] = zoneNames{
+			tempID:   wsn.NodeID(fmt.Sprintf("bt-temp-%d", z+1)),
+			humID:    wsn.NodeID(fmt.Sprintf("bt-hum-%d", z+1)),
+			co2ID:    wsn.NodeID(fmt.Sprintf("bt-co2-%d", z+1)),
+			biasTemp: fmt.Sprintf("sensor.bias-temp%d", z),
+			temp:     fmt.Sprintf("sensor.temp%d", z),
+			biasRH:   fmt.Sprintf("sensor.bias-rh%d", z),
+			rh:       fmt.Sprintf("sensor.rh%d", z),
+			biasCO2:  fmt.Sprintf("sensor.bias-co2%d", z),
+			co2:      fmt.Sprintf("sensor.co2%d", z),
+		}
+	}
+	for p := range t.panels {
+		t.panels[p] = panelNames{
+			dewID:  wsn.NodeID(fmt.Sprintf("bt-paneldew-%d", p+1)),
+			biasT:  fmt.Sprintf("sensor.bias-pdt%d", p),
+			biasRH: fmt.Sprintf("sensor.bias-pdrh%d", p),
+			rng:    fmt.Sprintf("sensor.paneldew%d", p),
+			c2ID:   wsn.NodeID(fmt.Sprintf("ac-control-c2-%d", p+1)),
+		}
+	}
+	for b := range t.boxes {
+		t.boxes[b] = boxNames{
+			dewID:  wsn.NodeID(fmt.Sprintf("bt-boxdew-%d", b+1)),
+			biasT:  fmt.Sprintf("sensor.bias-bdt%d", b),
+			biasRH: fmt.Sprintf("sensor.bias-bdrh%d", b),
+			rng:    fmt.Sprintf("sensor.boxdew%d", b),
+			v2ID:   wsn.NodeID(fmt.Sprintf("ac-control-v2-%d", b+1)),
+			v3ID:   wsn.NodeID(fmt.Sprintf("ac-control-v3-%d", b+1)),
+		}
+	}
+	return t
+}

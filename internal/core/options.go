@@ -19,6 +19,13 @@ type sysOpts struct {
 	cfgEdits []func(*Config)
 	plan     *fault.Plan
 	rec      *trace.Recorder
+
+	// Per-instance overrides that deliberately do NOT edit the Config:
+	// fleet members built from one Shared handle differ only in these, so
+	// keeping them out of cfgEdits lets every member alias the handle's
+	// single validated Config instead of carrying a private copy.
+	seed    *uint64
+	outdoor *psychro.State
 }
 
 func (o *sysOpts) edit(fn func(*Config)) {
@@ -39,9 +46,10 @@ func WithRecorder(r *trace.Recorder) Option {
 	return func(o *sysOpts) { o.rec = r }
 }
 
-// WithSeed overrides Config.Seed.
+// WithSeed overrides the seed driving every stochastic element, without
+// editing (or copying) the shared Config.
 func WithSeed(seed uint64) Option {
-	return func(o *sysOpts) { o.edit(func(c *Config) { c.Seed = seed }) }
+	return func(o *sysOpts) { o.seed = &seed }
 }
 
 // WithTxMode overrides Config.TxMode (adaptive vs fixed transmission).
@@ -65,12 +73,13 @@ func WithVentCapacityW(w float64) Option {
 }
 
 // WithOutdoor overrides the outdoor boundary condition (dry-bulb and dew
-// point, °C) the thermal model is initialised from.
+// point, °C) the thermal model is initialised from. Like WithSeed it is a
+// per-instance override, not a Config edit, so fleet members with varied
+// climates still share one Config.
 func WithOutdoor(tC, dewC float64) Option {
 	return func(o *sysOpts) {
-		o.edit(func(c *Config) {
-			c.Thermal.Outdoor = psychro.NewStateDewPoint(tC, dewC, 0)
-		})
+		st := psychro.NewStateDewPoint(tC, dewC, 0)
+		o.outdoor = &st
 	}
 }
 

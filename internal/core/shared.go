@@ -1,0 +1,50 @@
+package core
+
+// Shared is a validated, read-only configuration handle that many Systems
+// can be assembled from. It exists for fleet-scale instantiation: the
+// Config is validated once, stored once, and every System built from the
+// handle aliases it instead of carrying a private copy — per-building
+// differences (seed, climate boundary) ride in the per-instance options
+// that deliberately do not edit the Config (WithSeed, WithOutdoor).
+//
+// The handle is immutable after construction. Callers must not mutate the
+// Config reachable through it; Systems read it concurrently from every
+// fleet shard.
+type Shared struct {
+	cfg Config
+}
+
+// NewShared validates cfg and wraps it in a read-only handle.
+func NewShared(cfg Config) (*Shared, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Shared{cfg: cfg}, nil
+}
+
+// Config returns a copy of the shared configuration.
+func (sh *Shared) Config() Config { return sh.cfg }
+
+// NewSystem assembles one System over the shared configuration. Options
+// that edit the Config (WithTracePeriod, WithLossFloor, …) force a
+// private validated copy for this instance; the per-instance overrides
+// WithSeed and WithOutdoor do not, so a homogeneous fleet with varied
+// seeds and climates keeps exactly one Config in memory.
+func (sh *Shared) NewSystem(opts ...Option) (*System, error) {
+	var o sysOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfgp := &sh.cfg
+	if len(o.cfgEdits) > 0 {
+		cfg := sh.cfg
+		for _, edit := range o.cfgEdits {
+			edit(&cfg)
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		cfgp = &cfg
+	}
+	return assemble(cfgp, &o)
+}

@@ -22,7 +22,10 @@ import (
 
 // System is the assembled BubbleZERO deployment.
 type System struct {
-	cfg Config
+	// cfg points either at a Shared handle's single validated Config
+	// (aliased by every fleet member built from it) or at this instance's
+	// private copy (when an option edited it). It is read-only either way.
+	cfg *Config
 
 	engine *sim.Engine
 	room   *thermal.Room
@@ -96,10 +99,13 @@ func openTraceSeries(rec *trace.Recorder) traceSeries {
 }
 
 // NewSystem assembles and wires the full deployment. Options are applied
-// in order: config-editing options (WithSeed, WithLossFloor, …) mutate
-// cfg before validation, WithRecorder substitutes the trace recorder,
-// and WithFaultPlan schedules fault injections on the timeline and arms
-// the degradation watchdog.
+// in order: config-editing options (WithLossFloor, WithTracePeriod, …)
+// mutate cfg before validation, WithSeed/WithOutdoor override the seed
+// and climate boundary per instance, WithRecorder substitutes the trace
+// recorder, and WithFaultPlan schedules fault injections on the timeline
+// and arms the degradation watchdog. Fleets assembling many Systems from
+// one configuration should validate it once via NewShared and build
+// through Shared.NewSystem instead.
 func NewSystem(cfg Config, opts ...Option) (*System, error) {
 	var o sysOpts
 	for _, opt := range opts {
@@ -111,6 +117,13 @@ func NewSystem(cfg Config, opts ...Option) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	return assemble(&cfg, &o)
+}
+
+// assemble wires a System over the validated configuration at cfg, which
+// the System retains and treats as read-only (it may be a Shared handle's
+// Config, aliased by thousands of sibling instances).
+func assemble(cfg *Config, o *sysOpts) (*System, error) {
 	if err := o.plan.Validate(); err != nil {
 		return nil, err
 	}
@@ -118,9 +131,17 @@ func NewSystem(cfg Config, opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	engine := sim.NewEngine(clock, cfg.Seed)
+	seed := cfg.Seed
+	if o.seed != nil {
+		seed = *o.seed
+	}
+	engine := sim.NewEngine(clock, seed)
 
-	room, err := thermal.NewRoomAtOutdoor(cfg.Thermal)
+	thermalCfg := cfg.Thermal
+	if o.outdoor != nil {
+		thermalCfg.Outdoor = *o.outdoor
+	}
+	room, err := thermal.NewRoomAtOutdoor(thermalCfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math"
 	"math/rand/v2"
 
@@ -46,8 +45,10 @@ func panelDewIndex(id string) (int, bool) {
 //     under-panel dew; the ventilation module consumes temperature,
 //     humidity, CO₂, airbox dew, and Control-C-1's supply temperature.
 func (s *System) buildTopology() error {
-	noise := func(name string) *rand.Rand {
-		return s.engine.RNG().Stream("sensor." + name)
+	// noise streams are named by the precomputed topoNames table (full
+	// "sensor.…" strings), so construction formats no per-instance names.
+	noise := func(stream string) *rand.Rand {
+		return s.engine.RNG().Stream(stream)
 	}
 	maybe := func(m sensor.Model, truth float64, rng *rand.Rand) float64 {
 		if !s.cfg.SensorNoise {
@@ -56,8 +57,8 @@ func (s *System) buildTopology() error {
 		return m.Read(truth, rng)
 	}
 
-	addSensor := func(id string, typ wsn.MsgType, zone int, tspl float64, read func() float64) error {
-		node, err := s.net.AddNode(wsn.NodeID(id), wsn.PowerBattery)
+	addSensor := func(id wsn.NodeID, typ wsn.MsgType, zone int, tspl float64, read func() float64) error {
+		node, err := s.net.AddNode(id, wsn.PowerBattery)
 		if err != nil {
 			return err
 		}
@@ -84,25 +85,26 @@ func (s *System) buildTopology() error {
 	// Per-subspace room sensors (bt-devices, §IV-B sampling periods).
 	for z := 0; z < thermal.NumZones; z++ {
 		z := z
-		tempModel := sensor.SHT75Temperature().WithRandomBias(noise(fmt.Sprintf("bias-temp%d", z)))
-		tempRNG := noise(fmt.Sprintf("temp%d", z))
-		if err := addSensor(fmt.Sprintf("bt-temp-%d", z+1), wsn.MsgTemperature, z,
+		names := &topoNames.zones[z]
+		tempModel := sensor.SHT75Temperature().WithRandomBias(noise(names.biasTemp))
+		tempRNG := noise(names.temp)
+		if err := addSensor(names.tempID, wsn.MsgTemperature, z,
 			s.cfg.TsplTemperatureS, func() float64 {
 				return maybe(tempModel, s.room.Zone(thermal.ZoneID(z)).T, tempRNG)
 			}); err != nil {
 			return err
 		}
-		rhModel := sensor.SHT75Humidity().WithRandomBias(noise(fmt.Sprintf("bias-rh%d", z)))
-		rhRNG := noise(fmt.Sprintf("rh%d", z))
-		if err := addSensor(fmt.Sprintf("bt-hum-%d", z+1), wsn.MsgHumidity, z,
+		rhModel := sensor.SHT75Humidity().WithRandomBias(noise(names.biasRH))
+		rhRNG := noise(names.rh)
+		if err := addSensor(names.humID, wsn.MsgHumidity, z,
 			s.cfg.TsplHumidityS, func() float64 {
 				return maybe(rhModel, s.room.ZoneRH(thermal.ZoneID(z)), rhRNG)
 			}); err != nil {
 			return err
 		}
-		co2Model := sensor.CO2NDIR().WithRandomBias(noise(fmt.Sprintf("bias-co2%d", z)))
-		co2RNG := noise(fmt.Sprintf("co2%d", z))
-		if err := addSensor(fmt.Sprintf("bt-co2-%d", z+1), wsn.MsgCO2, z,
+		co2Model := sensor.CO2NDIR().WithRandomBias(noise(names.biasCO2))
+		co2RNG := noise(names.co2)
+		if err := addSensor(names.co2ID, wsn.MsgCO2, z,
 			s.cfg.TsplCO2S, func() float64 {
 				return maybe(co2Model, s.room.Zone(thermal.ZoneID(z)).CO2PPM, co2RNG)
 			}); err != nil {
@@ -115,10 +117,11 @@ func (s *System) buildTopology() error {
 	// the wetter of the panel's two subspaces plus sensor noise.
 	for p := 0; p < radiant.NumPanels; p++ {
 		p := p
-		tModel := sensor.SHT75Temperature().WithRandomBias(noise(fmt.Sprintf("bias-pdt%d", p)))
-		rhModel := sensor.SHT75Humidity().WithRandomBias(noise(fmt.Sprintf("bias-pdrh%d", p)))
-		rng := noise(fmt.Sprintf("paneldew%d", p))
-		if err := addSensor(fmt.Sprintf("bt-paneldew-%d", p+1), wsn.MsgPanelDew, -1,
+		names := &topoNames.panels[p]
+		tModel := sensor.SHT75Temperature().WithRandomBias(noise(names.biasT))
+		rhModel := sensor.SHT75Humidity().WithRandomBias(noise(names.biasRH))
+		rng := noise(names.rng)
+		if err := addSensor(names.dewID, wsn.MsgPanelDew, -1,
 			s.cfg.TsplHumidityS, func() float64 {
 				zs := radiant.PanelZones(p)
 				dew := -100.0
@@ -139,9 +142,10 @@ func (s *System) buildTopology() error {
 	// Airbox outlet SHT75 motes.
 	for b := 0; b < vent.NumBoxes; b++ {
 		b := b
-		tModel := sensor.SHT75Temperature().WithRandomBias(noise(fmt.Sprintf("bias-bdt%d", b)))
-		rhModel := sensor.SHT75Humidity().WithRandomBias(noise(fmt.Sprintf("bias-bdrh%d", b)))
-		rng := noise(fmt.Sprintf("boxdew%d", b))
+		names := &topoNames.boxes[b]
+		tModel := sensor.SHT75Temperature().WithRandomBias(noise(names.biasT))
+		rhModel := sensor.SHT75Humidity().WithRandomBias(noise(names.biasRH))
+		rng := noise(names.rng)
 		// The outlet state is often bit-identical between samples — a
 		// parked box passes the (constant) outdoor state through, and a
 		// running coil's first-order lag settles onto a float fixed point —
@@ -149,7 +153,7 @@ func (s *System) buildTopology() error {
 		// compare equal, so the first sample always computes.
 		rhT, rhW, rhP := math.NaN(), math.NaN(), math.NaN()
 		var rhOut float64
-		if err := addSensor(fmt.Sprintf("bt-boxdew-%d", b+1), wsn.MsgAirboxDew, b,
+		if err := addSensor(names.dewID, wsn.MsgAirboxDew, b,
 			s.cfg.TsplHumidityS, func() float64 {
 				out := s.ventMod.Box(b).Outlet()
 				//bzlint:allow floateq exact-key memo; outlet state is bit-identical between samples at steady state
@@ -166,8 +170,8 @@ func (s *System) buildTopology() error {
 	}
 
 	// AC control boards publishing their processed data (Figure 8).
-	addAC := func(id string, typ wsn.MsgType, zone int, period float64, read func() float64) error {
-		node, err := s.net.AddNode(wsn.NodeID(id), wsn.PowerAC)
+	addAC := func(id wsn.NodeID, typ wsn.MsgType, zone int, period float64, read func() float64) error {
+		node, err := s.net.AddNode(id, wsn.PowerAC)
 		if err != nil {
 			return err
 		}
@@ -178,8 +182,8 @@ func (s *System) buildTopology() error {
 		s.broadcasters = append(s.broadcasters, pb)
 		return nil
 	}
-	suppModel := sensor.ADT7410().WithRandomBias(noise("bias-tsupp"))
-	suppRNG := noise("tsupp")
+	suppModel := sensor.ADT7410().WithRandomBias(noise("sensor.bias-tsupp"))
+	suppRNG := noise("sensor.tsupp")
 	if err := addAC("ac-control-c1", wsn.MsgSupplyTemp, -1, 5, func() float64 {
 		return maybe(suppModel, s.radiantTank.Temp(), suppRNG)
 	}); err != nil {
@@ -187,7 +191,7 @@ func (s *System) buildTopology() error {
 	}
 	for p := 0; p < radiant.NumPanels; p++ {
 		p := p
-		if err := addAC(fmt.Sprintf("ac-control-c2-%d", p+1), wsn.MsgWaterFlow, -1, 2, func() float64 {
+		if err := addAC(topoNames.panels[p].c2ID, wsn.MsgWaterFlow, -1, 2, func() float64 {
 			return s.radiantMod.Loop(p).FMix()
 		}); err != nil {
 			return err
@@ -200,12 +204,13 @@ func (s *System) buildTopology() error {
 	}
 	for b := 0; b < vent.NumBoxes; b++ {
 		b := b
-		if err := addAC(fmt.Sprintf("ac-control-v2-%d", b+1), wsn.MsgFanSpeed, b, 2, func() float64 {
+		names := &topoNames.boxes[b]
+		if err := addAC(names.v2ID, wsn.MsgFanSpeed, b, 2, func() float64 {
 			return s.ventMod.Box(b).FanFlow()
 		}); err != nil {
 			return err
 		}
-		if err := addAC(fmt.Sprintf("ac-control-v3-%d", b+1), wsn.MsgFlapCmd, b, 2, func() float64 {
+		if err := addAC(names.v3ID, wsn.MsgFlapCmd, b, 2, func() float64 {
 			if s.ventMod.Box(b).FlapOpen() {
 				return 1
 			}

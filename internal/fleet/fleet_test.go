@@ -1,0 +1,240 @@
+package fleet
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"bubblezero/internal/core"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string // substring; "" means valid
+	}{
+		{"default", func(c *Config) {}, ""},
+		{"zero buildings", func(c *Config) { c.Buildings = 0 }, "Buildings must be > 0"},
+		{"negative buildings", func(c *Config) { c.Buildings = -3 }, "Buildings must be > 0"},
+		{"auto shards", func(c *Config) { c.Shards = 0 }, ""},
+		{"negative shards", func(c *Config) { c.Shards = -1 }, "Shards must be >= 0"},
+		{"shards at N", func(c *Config) { c.Shards = c.Buildings }, ""},
+		{"shards over N", func(c *Config) { c.Shards = c.Buildings + 1 }, "exceeds Buildings"},
+		{"negative budget", func(c *Config) { c.MemBudgetBytes = -1 }, "MemBudgetBytes must be >= 0"},
+		{"negative sample every", func(c *Config) { c.SampleEvery = -2 }, "SampleEvery must be >= 0"},
+		{"sampling without trace period", func(c *Config) {
+			c.SampleEvery = 4
+			c.Base.TracePeriod = 0
+		}, "needs Base.TracePeriod > 0"},
+		{"sampling with trace period", func(c *Config) {
+			c.SampleEvery = 4
+			c.Base.TracePeriod = 15 * time.Second
+		}, ""},
+		{"negative retention", func(c *Config) { c.SampleRetention = -1 }, "SampleRetention must be >= 0"},
+		{"negative epoch", func(c *Config) { c.EpochTicks = -1 }, "EpochTicks must be >= 0"},
+		{"inverted temp range", func(c *Config) {
+			c.Vary.OutdoorTempLoC, c.Vary.OutdoorTempHiC = 34, 28
+		}, "OutdoorTempHiC"},
+		{"inverted dew range", func(c *Config) {
+			c.Vary.OutdoorDewLoC, c.Vary.OutdoorDewHiC = 27, 24
+		}, "OutdoorDewHiC"},
+		{"negative occupants", func(c *Config) { c.Vary.MaxOccupants = -1 }, "MaxOccupants"},
+		{"invalid base", func(c *Config) { c.Base.Step = 0 }, "Step must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(16)
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParamsForDeterministicAndBounded(t *testing.T) {
+	cfg := DefaultConfig(64)
+	for i := 0; i < 64; i++ {
+		p := cfg.ParamsFor(i)
+		q := cfg.ParamsFor(i)
+		if p != q {
+			t.Fatalf("ParamsFor(%d) not deterministic: %+v vs %+v", i, p, q)
+		}
+		if !p.Climate {
+			t.Fatalf("ParamsFor(%d): expected climate variation", i)
+		}
+		if p.OutdoorC < cfg.Vary.OutdoorTempLoC || p.OutdoorC >= cfg.Vary.OutdoorTempHiC {
+			t.Fatalf("ParamsFor(%d): OutdoorC %v outside [%v, %v)", i, p.OutdoorC,
+				cfg.Vary.OutdoorTempLoC, cfg.Vary.OutdoorTempHiC)
+		}
+		if p.OutdoorDewC < cfg.Vary.OutdoorDewLoC-1 || p.OutdoorDewC > p.OutdoorC-1 {
+			t.Fatalf("ParamsFor(%d): OutdoorDewC %v outside plausible range (temp %v)", i, p.OutdoorDewC, p.OutdoorC)
+		}
+		for z, n := range p.Occupants {
+			if n < 0 || n > cfg.Vary.MaxOccupants {
+				t.Fatalf("ParamsFor(%d): zone %d occupants %d outside [0, %d]", i, z, n, cfg.Vary.MaxOccupants)
+			}
+		}
+	}
+	// Different indices must draw different seeds (splitmix64 collision on
+	// consecutive indices would be a derivation bug, not chance).
+	seen := make(map[uint64]int, 64)
+	for i := 0; i < 64; i++ {
+		s := cfg.ParamsFor(i).Seed
+		if j, dup := seen[s]; dup {
+			t.Fatalf("buildings %d and %d derived the same seed %#x", j, i, s)
+		}
+		seen[s] = i
+	}
+}
+
+// traceSHA fingerprints a building's full recorded history with the same
+// exact hex-float dump the Fig10 golden uses.
+func traceSHA(t *testing.T, sys *core.System) string {
+	t.Helper()
+	h := sha256.New()
+	if err := sys.Recorder().WriteExact(h); err != nil {
+		t.Fatalf("WriteExact: %v", err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestFleetDeterminismAcrossShardCounts pins the tentpole property: every
+// building in a sharded fleet is bit-identical to the same building run
+// standalone, and the shard count and epoch length change nothing.
+func TestFleetDeterminismAcrossShardCounts(t *testing.T) {
+	const (
+		buildings = 5
+		ticks     = 900 // 15 simulated minutes at the 1 s default step
+	)
+	base := DefaultConfig(buildings)
+	base.SampleEvery = 1 // record traces on every building so SHAs are meaningful
+	base.MemBudgetBytes = 0
+
+	// Standalone reference: each building alone, one continuous run.
+	want := make([]string, buildings)
+	for i := 0; i < buildings; i++ {
+		sys, err := Standalone(base, i)
+		if err != nil {
+			t.Fatalf("Standalone(%d): %v", i, err)
+		}
+		if err := sys.Engine().RunTicks(context.Background(), ticks); err != nil {
+			t.Fatalf("standalone run %d: %v", i, err)
+		}
+		want[i] = traceSHA(t, sys)
+	}
+	for i := 1; i < buildings; i++ {
+		if want[i] == want[0] {
+			t.Fatalf("buildings 0 and %d produced identical traces; per-building variation is not applied", i)
+		}
+	}
+
+	shardCounts := []int{1, runtime.NumCPU(), 4}
+	for _, shards := range shardCounts {
+		if shards > buildings {
+			shards = buildings
+		}
+		for _, epoch := range []int{128, ticks} {
+			cfg := base
+			cfg.Shards = shards
+			cfg.EpochTicks = epoch
+			fl, err := New(context.Background(), cfg)
+			if err != nil {
+				t.Fatalf("New(shards=%d): %v", shards, err)
+			}
+			if fl.Shards() != shards {
+				t.Fatalf("Shards() = %d, want %d", fl.Shards(), shards)
+			}
+			if err := fl.RunTicks(context.Background(), ticks); err != nil {
+				t.Fatalf("RunTicks(shards=%d, epoch=%d): %v", shards, epoch, err)
+			}
+			if got := fl.Ticks(); got != ticks {
+				t.Fatalf("Ticks() = %d, want %d", got, ticks)
+			}
+			for i := 0; i < buildings; i++ {
+				if got := traceSHA(t, fl.Building(i)); got != want[i] {
+					t.Errorf("shards=%d epoch=%d building %d: trace %s != standalone %s",
+						shards, epoch, i, got[:12], want[i][:12])
+				}
+			}
+		}
+	}
+}
+
+func TestFleetMemoryBudget(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Shards = 1
+	fl, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	got := fl.BytesPerBuilding()
+	if got <= 0 {
+		t.Fatalf("BytesPerBuilding() = %d, want > 0", got)
+	}
+	if got > cfg.MemBudgetBytes {
+		t.Fatalf("BytesPerBuilding() = %d exceeds the %d budget", got, cfg.MemBudgetBytes)
+	}
+
+	tight := cfg
+	tight.MemBudgetBytes = 1
+	if _, err := New(context.Background(), tight); err == nil {
+		t.Fatal("New with a 1-byte budget succeeded, want over-budget error")
+	} else if !strings.Contains(err.Error(), "over the") {
+		t.Fatalf("New with 1-byte budget: %v, want over-budget error", err)
+	}
+}
+
+func TestStandaloneIndexRange(t *testing.T) {
+	cfg := DefaultConfig(4)
+	for _, i := range []int{-1, 4} {
+		if _, err := Standalone(cfg, i); err == nil {
+			t.Fatalf("Standalone(%d) succeeded, want out-of-range error", i)
+		}
+	}
+}
+
+func TestFleetStats(t *testing.T) {
+	cfg := DefaultConfig(6)
+	cfg.Shards = 2
+	cfg.MemBudgetBytes = 0
+	fl, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := fl.Run(context.Background(), 10*time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := fl.Stats()
+	if st.Buildings != 6 {
+		t.Fatalf("Stats.Buildings = %d, want 6", st.Buildings)
+	}
+	if st.TicksRun != uint64(10*time.Minute/cfg.Base.Step) {
+		t.Fatalf("Stats.TicksRun = %d", st.TicksRun)
+	}
+	if math.IsNaN(st.AvgTempC) || st.AvgTempC < 10 || st.AvgTempC > 45 {
+		t.Fatalf("Stats.AvgTempC = %v, outside plausible range", st.AvgTempC)
+	}
+	if st.MinTempC > st.AvgTempC || st.MaxTempC < st.AvgTempC {
+		t.Fatalf("Stats min/avg/max inconsistent: %v / %v / %v", st.MinTempC, st.AvgTempC, st.MaxTempC)
+	}
+	if math.IsNaN(st.AvgDewC) {
+		t.Fatal("Stats.AvgDewC is NaN")
+	}
+}
