@@ -473,13 +473,14 @@ func (s *System) glue(env *sim.Env) {
 		s.condensationS += dt
 	}
 
-	// Ventilation boundary conditions.
+	// Ventilation boundary conditions, installed through the batch entry so
+	// one call refreshes the whole building's supply terms.
+	var vents [thermal.NumZones]thermal.VentInput
 	for z := 0; z < thermal.NumZones; z++ {
 		flow, supply, co2 := s.ventMod.VentInputFor(z)
-		s.room.SetVent(thermal.ZoneID(z), thermal.VentInput{
-			VolFlow: flow, Supply: supply, SupplyCO2PPM: co2,
-		})
+		vents[z] = thermal.VentInput{VolFlow: flow, Supply: supply, SupplyCO2PPM: co2}
 	}
+	s.room.SetVentBatch(&vents)
 
 	// Tanks. The room average is computed once per tick and threaded
 	// through both tank steps (the COP path below needs no air state).

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"bubblezero/internal/core"
+	"bubblezero/internal/sim"
 	"bubblezero/internal/thermal"
 	"bubblezero/internal/trace"
 )
@@ -40,6 +41,17 @@ type Fig10Result struct {
 	CondensationS float64
 	// FinalTempC and FinalDewC are the end-of-trial room averages.
 	FinalTempC, FinalDewC float64
+	// FinalCOP is the whole-system COP at end of trial (paper Fig. 11).
+	FinalCOP float64
+	// SchedStats is the scheduler's per-component step accounting over the
+	// trial.
+	SchedStats []sim.ComponentStats
+	// NetworkSteps is how many ticks the on-demand WSN network component
+	// actually ran. Unlike the cadenced counts (pure schedule arithmetic)
+	// this is value-dependent — adaptive transmission wakes the network
+	// when readings move — so it is pinned by the golden epoch, not
+	// derivable from the §IV-B periods.
+	NetworkSteps uint64
 }
 
 // Fig10 runs the 105-minute Figure 10 trial. Extra options are passed
@@ -69,6 +81,13 @@ func Fig10(ctx context.Context, seed uint64, opts ...core.Option) (*Fig10Result,
 		CondensationS: sys.CondensationSeconds(),
 		FinalTempC:    sys.Room().AverageT(),
 		FinalDewC:     sys.Room().AverageDewPoint(),
+		FinalCOP:      sys.COPTotal().Value(),
+		SchedStats:    sys.Engine().StepStats(),
+	}
+	for _, cs := range res.SchedStats {
+		if cs.Name == "wsn.network" {
+			res.NetworkSteps = cs.Steps
+		}
 	}
 
 	if at, ok := sys.Recorder().Series("temp.avg").FirstCrossing(25.3, true); ok {

@@ -4,9 +4,6 @@ import (
 	"context"
 	"crypto/sha256"
 	"fmt"
-	"os"
-	"path/filepath"
-	"strings"
 	"testing"
 	"time"
 
@@ -35,18 +32,15 @@ func digestFig10(t *testing.T, opts ...core.Option) string {
 
 func TestFig10EmptyFaultPlanMatchesGolden(t *testing.T) {
 	// A system carrying an (empty) fault plan threads the watchdog-free
-	// path and must reproduce the pinned golden digest bit for bit.
+	// path and must reproduce the current golden epoch's digest bit for
+	// bit.
 	if testing.Short() {
 		t.Skip("full 105-minute trial; skipped in -short mode")
 	}
-	raw, err := os.ReadFile(filepath.Join("testdata", "fig10_trace_seed1.sha256"))
-	if err != nil {
-		t.Fatalf("reading golden digest: %v", err)
-	}
-	want := strings.TrimSpace(string(raw))
+	e := loadEpoch(t)
 	got := digestFig10(t, core.WithFaultPlan(fault.MustPlan()))
-	if got != want {
-		t.Errorf("empty fault plan changed the Fig10 trace:\n got  %s\n want %s", got, want)
+	if got != e.Digest {
+		t.Errorf("empty fault plan changed the Fig10 trace:\n got  %s\n want %s", got, e.Digest)
 	}
 }
 

@@ -3,30 +3,25 @@ package experiments
 import (
 	"context"
 	"testing"
-	"time"
-
-	"bubblezero/internal/core"
 )
 
 // The cadence-aware scheduler's win must be observable, not asserted:
 // over the Figure 10 trial (6300 one-second ticks) every sensor mote and
 // AC broadcaster must be activated exactly on its sampling/broadcast
 // ticks and skipped on all others, the network must run on demand, and
-// the physics/control path must remain every-tick. The expected counts
+// the physics/control path must remain every-tick. The cadenced counts
 // are pure arithmetic on the paper's §IV-B periods: a device's sampling
 // accumulator first crosses at tick period−1 (floor(6300/p) activations),
 // a broadcaster fires on its registration tick and every period after.
+// The on-demand network count is value-dependent (adaptive transmission
+// wakes it when readings move), so it is pinned by the golden epoch.
 func TestFig10SchedulerStepStats(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full 105-minute trial; skipped in -short mode")
 	}
-	cfg := core.DefaultConfig()
-	cfg.Seed = 1
-	sys, err := core.NewSystem(cfg)
+	e := loadEpoch(t)
+	r, err := Fig10(context.Background(), e.Seed)
 	if err != nil {
-		t.Fatal(err)
-	}
-	if err := sys.Run(context.Background(), 105*time.Minute); err != nil {
 		t.Fatal(err)
 	}
 
@@ -73,7 +68,7 @@ func TestFig10SchedulerStepStats(t *testing.T) {
 		"thermal.room":   true,
 	}
 
-	stats := sys.Engine().StepStats()
+	stats := r.SchedStats
 	if want := len(wantSteps) + len(everyTick) + 1; len(stats) != want {
 		t.Fatalf("StepStats reports %d components, want %d", len(stats), want)
 	}
@@ -97,6 +92,12 @@ func TestFig10SchedulerStepStats(t *testing.T) {
 			if cs.Steps < 3150 || cs.Steps >= ticks {
 				t.Errorf("wsn.network stepped %d of %d ticks, want in [3150, %d)",
 					cs.Steps, uint64(ticks), uint64(ticks))
+			}
+			// And exactly the count the golden epoch pinned.
+			if cs.Steps != e.NetworkSteps {
+				t.Errorf("wsn.network stepped %d ticks, epoch v%d pins %d; "+
+					"if intentional, re-pin with: make repin REASON=\"...\"",
+					cs.Steps, e.Version, e.NetworkSteps)
 			}
 		case everyTick[cs.Name]:
 			if cs.Kind != "every-tick" {

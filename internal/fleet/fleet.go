@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bubblezero/internal/core"
+	"bubblezero/internal/psychro"
 	"bubblezero/internal/runner"
 	"bubblezero/internal/thermal"
 )
@@ -222,6 +223,21 @@ func (f *Fleet) RunTicks(ctx context.Context, n uint64) error {
 // ticks, matching System.Run).
 func (f *Fleet) Run(ctx context.Context, d time.Duration) error {
 	return f.RunTicks(ctx, uint64(d/f.step))
+}
+
+// SetOutdoor installs a new outdoor boundary condition (dry bulb and dew
+// point, °C) on every building — a fleet-wide weather update between
+// epochs. The derived psychrometric terms (the Magnus dew point, the
+// density divide) are computed once into a shared thermal.Climate and
+// installed everywhere by assignment, so the update costs O(N) multiplies
+// rather than O(N) transcendentals. It routes through the same NewClimate
+// a room's own SetOutdoor uses, so the shared install is bit-identical to
+// updating each building individually.
+func (f *Fleet) SetOutdoor(tC, dewC float64) {
+	c := thermal.NewClimate(psychro.NewStateDewPoint(tC, dewC, 0), f.cfg.Base.Thermal.OutdoorCO2PPM)
+	for _, sys := range f.buildings {
+		sys.Room().SetClimate(c)
+	}
 }
 
 // Buildings returns the fleet size.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"bubblezero/internal/core"
+	"bubblezero/internal/psychro"
 )
 
 func TestConfigValidate(t *testing.T) {
@@ -173,6 +174,54 @@ func TestFleetDeterminismAcrossShardCounts(t *testing.T) {
 						shards, epoch, i, got[:12], want[i][:12])
 				}
 			}
+		}
+	}
+}
+
+// TestFleetSetOutdoorMatchesPerBuilding pins the shared-climate fast
+// path: installing one precomputed Climate across the fleet must be
+// bit-identical to each building recomputing its own boundary terms via
+// Room.SetOutdoor.
+func TestFleetSetOutdoorMatchesPerBuilding(t *testing.T) {
+	const (
+		buildings = 4
+		ticks     = 300
+	)
+	cfg := DefaultConfig(buildings)
+	cfg.SampleEvery = 1
+	cfg.MemBudgetBytes = 0
+	cfg.Shards = 2
+
+	mk := func() *Fleet {
+		fl, err := New(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := fl.RunTicks(context.Background(), ticks); err != nil {
+			t.Fatalf("RunTicks: %v", err)
+		}
+		return fl
+	}
+	shared, perBuilding := mk(), mk()
+
+	shared.SetOutdoor(33.0, 27.8)
+	for i := 0; i < buildings; i++ {
+		perBuilding.Building(i).Room().SetOutdoor(psychro.NewStateDewPoint(33.0, 27.8, 0))
+	}
+
+	if err := shared.RunTicks(context.Background(), ticks); err != nil {
+		t.Fatalf("RunTicks after SetOutdoor: %v", err)
+	}
+	if err := perBuilding.RunTicks(context.Background(), ticks); err != nil {
+		t.Fatalf("RunTicks after per-building SetOutdoor: %v", err)
+	}
+	for i := 0; i < buildings; i++ {
+		a, b := traceSHA(t, shared.Building(i)), traceSHA(t, perBuilding.Building(i))
+		if a != b {
+			t.Errorf("building %d: fleet SetOutdoor trace %s != per-building %s", i, a[:12], b[:12])
+		}
+		if got := shared.Building(i).Room().Outdoor().T; got != 33.0 {
+			t.Errorf("building %d: outdoor T = %v after fleet SetOutdoor, want 33", i, got)
 		}
 	}
 }

@@ -1,0 +1,82 @@
+package psychro
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// The batch kernel evaluates its per-zone psychrometrics through Terms,
+// whose hoisted constant folds associate the float operations differently
+// from the scalar reference functions. The golden-epoch discipline allows
+// that — paper metrics are asserted within tolerance, not bit-identity —
+// but the two forms must stay numerically interchangeable. This property
+// sweep pins every Terms method to its scalar counterpart within 1e-9
+// relative error across the full HVAC operating envelope (and well
+// beyond it), at three total pressures.
+func TestTermsMatchScalarReference(t *testing.T) {
+	pressures := []float64{AtmPressure, 90000, 104000}
+	rng := rand.New(rand.NewPCG(0xb0b2, 0x5eed))
+
+	relErr := func(got, want float64) float64 {
+		d := math.Abs(got - want)
+		if m := math.Abs(want); m > 1 {
+			return d / m
+		}
+		return d
+	}
+
+	for _, p := range pressures {
+		tm := NewTerms(p)
+		if tm.P != p {
+			t.Fatalf("NewTerms(%v).P = %v", p, tm.P)
+		}
+		for i := 0; i < 200000; i++ {
+			// Dry bulb −40…+60 °C, humidity ratio 0…0.04 kg/kg: the
+			// Magnus validity range, spanning every climate boundary the
+			// fleet parameterisation can generate.
+			tc := -40 + 100*rng.Float64()
+			w := 0.04 * rng.Float64()
+
+			if got, want := tm.Density(tc), DryAirDensity(tc, p); relErr(got, want) > 1e-9 {
+				t.Fatalf("p=%v t=%v: Terms.Density=%v, DryAirDensity=%v", p, tc, got, want)
+			}
+			if got, want := tm.DewPointFromW(w), DewPointFromHumidityRatio(w, p); relErr(got, want) > 1e-9 {
+				t.Fatalf("p=%v w=%v: Terms.DewPointFromW=%v, DewPointFromHumidityRatio=%v", p, w, got, want)
+			}
+			if got, want := tm.RHFromW(tc, w), RHFromHumidityRatio(tc, w, p); relErr(got, want) > 1e-9 {
+				t.Fatalf("p=%v t=%v w=%v: Terms.RHFromW=%v, RHFromHumidityRatio=%v", p, tc, w, got, want)
+			}
+			if got, want := tm.SatPressureAt(tc), SatPressure(tc); got != want {
+				t.Fatalf("p=%v t=%v: Terms.SatPressureAt=%v, SatPressure=%v", p, tc, got, want)
+			}
+			if got, want := tm.EnthalpyAt(tc, w), Enthalpy(tc, w); got != want {
+				t.Fatalf("p=%v t=%v w=%v: Terms.EnthalpyAt=%v, Enthalpy=%v", p, tc, w, got, want)
+			}
+		}
+	}
+}
+
+// Degenerate inputs must clamp identically to the scalar reference: the
+// kernel feeds Terms whatever the integrator produced, including the
+// w→0 floor after the moisture clamp.
+func TestTermsEdgeCasesMatchScalar(t *testing.T) {
+	tm := NewTerms(0) // defaults to AtmPressure
+	if tm.P != AtmPressure {
+		t.Fatalf("NewTerms(0).P = %v, want AtmPressure", tm.P)
+	}
+	for _, w := range []float64{0, -1e-9, 1e-12, 1e-9} {
+		got, want := tm.DewPointFromW(w), DewPointFromHumidityRatio(w, AtmPressure)
+		if math.Abs(got-want) > 1e-9*math.Abs(want) {
+			t.Errorf("w=%v: Terms dew %v, scalar %v", w, got, want)
+		}
+	}
+	// RH clamps: supersaturated air reports 100, bone-dry reports the
+	// positive floor — exactly as the scalar form does.
+	if got := tm.RHFromW(20, 0.05); got != 100 {
+		t.Errorf("supersaturated RHFromW = %v, want 100", got)
+	}
+	if got := tm.RHFromW(20, 0); got != 1e-6 {
+		t.Errorf("dry RHFromW = %v, want 1e-6 floor", got)
+	}
+}

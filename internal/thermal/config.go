@@ -36,7 +36,11 @@ func (z ZoneID) Valid() bool { return z >= 0 && z < NumZones }
 //	1 | 2        (door is in subspace-1, close to subspace-2)
 //	--+--
 //	3 | 4
-var adjacency = [NumZones][]ZoneID{
+//
+// Every zone has exactly two neighbours, so the table is a fixed-size
+// array the batch kernel indexes directly (no slice header loads on the
+// hot path).
+var adjacency = [NumZones][2]ZoneID{
 	0: {1, 2},
 	1: {0, 3},
 	2: {0, 3},

@@ -256,10 +256,11 @@ func TestInterZoneMixingEqualises(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Perturb zone 0 hot, zone 3 cold; mixing must converge them.
-	r.zones[0].T = 30
-	r.zones[3].T = 20
+	r.soa.t[0] = 30
+	r.soa.t[3] = 20
+	r.recomputeDerived()
 	runRoom(t, r, 2*time.Hour)
-	spread := r.zones[0].T - r.zones[3].T
+	spread := r.soa.t[0] - r.soa.t[3]
 	if math.Abs(spread) > 0.5 {
 		t.Errorf("zones did not equalise: spread %v", spread)
 	}
