@@ -26,8 +26,13 @@ type Histogram struct {
 	// changes. slotWidth is on the per-sample path and in Threshold's
 	// O(N²) inner loop via center; the cached value is the same float the
 	// divide would produce because it is computed from the same operands.
-	width    float64
-	counts   []uint32
+	width  float64
+	counts []uint32
+	// scratch is the retired counts backing, reused by rescale so that
+	// range expansions — which every device performs as it learns its
+	// environment — stop allocating once the histogram exists. The swap
+	// moves integer counters only, so it cannot perturb any float result.
+	scratch  []uint32
 	total    int
 	hasRange bool
 }
@@ -37,7 +42,7 @@ func NewHistogram(n int) (*Histogram, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("adaptive: histogram needs >= 2 slots, got %d", n)
 	}
-	return &Histogram{n: n, counts: make([]uint32, n)}, nil
+	return &Histogram{n: n, counts: make([]uint32, n), scratch: make([]uint32, n)}, nil
 }
 
 // N returns the slot count.
@@ -127,7 +132,11 @@ func (h *Histogram) rescale(lo, hi float64) {
 	oldMin, oldMax := h.varMin, h.varMax
 	oldWidth := (oldMax - oldMin) / float64(h.n)
 	h.setRange(lo, hi)
-	h.counts = make([]uint32, h.n)
+	next := h.scratch
+	for i := range next {
+		next[i] = 0
+	}
+	h.counts, h.scratch = next, old
 	if !h.hasRange || oldWidth <= 0 {
 		// All prior mass sits at a single value (oldMin == oldMax).
 		var mass uint32

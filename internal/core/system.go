@@ -27,9 +27,10 @@ type System struct {
 	// private copy (when an option edited it). It is read-only either way.
 	cfg *Config
 
-	engine *sim.Engine
-	room   *thermal.Room
-	net    *wsn.Network
+	engine  *sim.Engine
+	room    *thermal.Room
+	roomReg *sim.Registration
+	net     *wsn.Network
 
 	radiantTank *hydraulic.Tank
 	ventTank    *hydraulic.Tank
@@ -141,7 +142,14 @@ func assemble(cfg *Config, o *sysOpts) (*System, error) {
 	if o.outdoor != nil {
 		thermalCfg.Outdoor = *o.outdoor
 	}
-	room, err := thermal.NewRoomAtOutdoor(thermalCfg)
+	var room *thermal.Room
+	if o.bank != nil {
+		// Banked build: the room's state lives in the shard bank's row.
+		// Same kernel, same arithmetic — only the storage moves.
+		room, err = o.bank.NewRoomAtOutdoor(o.bankRow, thermalCfg)
+	} else {
+		room, err = thermal.NewRoomAtOutdoor(thermalCfg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +262,11 @@ func assemble(cfg *Config, o *sysOpts) (*System, error) {
 	engine.Register(radiantMod)
 	engine.Register(ventMod)
 	engine.Register(sim.ComponentFunc{ID: "core.glue", Fn: s.glue})
-	engine.Register(room)
+	// The room is registered LAST: within a tick everything else (sensors,
+	// network, controllers, glue) runs first, then the physics advances.
+	// TakeOverRoom relies on this — a fleet stepping the room externally
+	// after Engine.StepTick reproduces the same within-tick position.
+	s.roomReg = engine.Register(room)
 
 	if err := s.plan.Apply(engine.Timeline(), cfg.Start, s.faultTarget()); err != nil {
 		return nil, err
@@ -268,6 +280,14 @@ func (s *System) FaultPlan() *fault.Plan { return s.plan }
 
 // Engine returns the simulation engine (for scheduling scenario events).
 func (s *System) Engine() *sim.Engine { return s.engine }
+
+// TakeOverRoom removes the thermal room from the engine's per-tick
+// delivery and hands stepping responsibility to the caller — the fleet's
+// physics-takeover hook. The room is the last component in the engine's
+// step order, so a caller that runs Engine.StepTick and then steps the
+// room (directly or via RoomBank.StepAll) executes the exact sequence the
+// engine would have: sensors → network → controllers → glue → physics.
+func (s *System) TakeOverRoom() { s.roomReg.TakeOver() }
 
 // Room returns the thermal model.
 func (s *System) Room() *thermal.Room { return s.room }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 	"math"
 	"runtime"
 	"strings"
@@ -11,7 +12,9 @@ import (
 	"time"
 
 	"bubblezero/internal/core"
+	"bubblezero/internal/fault"
 	"bubblezero/internal/psychro"
+	"bubblezero/internal/thermal"
 )
 
 func TestConfigValidate(t *testing.T) {
@@ -178,51 +181,183 @@ func TestFleetDeterminismAcrossShardCounts(t *testing.T) {
 	}
 }
 
-// TestFleetSetOutdoorMatchesPerBuilding pins the shared-climate fast
-// path: installing one precomputed Climate across the fleet must be
-// bit-identical to each building recomputing its own boundary terms via
-// Room.SetOutdoor.
-func TestFleetSetOutdoorMatchesPerBuilding(t *testing.T) {
-	const (
-		buildings = 4
-		ticks     = 300
-	)
-	cfg := DefaultConfig(buildings)
-	cfg.SampleEvery = 1
-	cfg.MemBudgetBytes = 0
-	cfg.Shards = 2
+// roomStateKey fingerprints a building's exact zone state (temperature,
+// humidity ratio, CO₂ per zone) as hex float bits, so two buildings
+// compare bit-for-bit without a recorder.
+func roomStateKey(sys *core.System) string {
+	var sb strings.Builder
+	for z := 0; z < thermal.NumZones; z++ {
+		st := sys.Room().Zone(thermal.ZoneID(z))
+		fmt.Fprintf(&sb, "%x/%x/%x;", math.Float64bits(st.T), math.Float64bits(st.W), math.Float64bits(st.CO2PPM))
+	}
+	return sb.String()
+}
 
-	mk := func() *Fleet {
+// TestFleetBankBitIdenticalAcrossShards pins the fused-bank tentpole:
+// a banked fleet's buildings are bit-identical to their unbanked
+// Standalone references at every shard count, including a shard that
+// mixes a fault-plan building with retention-sampled buildings (at
+// shards=3 the middle shard owns buildings {2,3,4}: 2 and 4 sampled
+// with bounded retention, 3 carrying the fault plan).
+func TestFleetBankBitIdenticalAcrossShards(t *testing.T) {
+	const (
+		buildings = 8
+		ticks     = 900
+	)
+	base := DefaultConfig(buildings)
+	base.MemBudgetBytes = 0
+	base.SampleEvery = 2
+	base.SampleRetention = 64
+	base.FaultPlan = func(i int, seed uint64) *fault.Plan {
+		if i != 3 {
+			return nil
+		}
+		plan, err := fault.NewPlan(
+			fault.BurstLoss(2*time.Minute, 3*time.Minute, 0.5),
+			fault.ChillerTrip(5*time.Minute, 5*time.Minute, fault.LoopVent),
+		)
+		if err != nil {
+			t.Fatalf("NewPlan: %v", err)
+		}
+		return plan
+	}
+
+	// Standalone builds are never banked: the reference is the room with
+	// private storage, stepped in-line by its own engine.
+	wantTrace := make([]string, buildings)
+	wantState := make([]string, buildings)
+	for i := 0; i < buildings; i++ {
+		sys, err := Standalone(base, i)
+		if err != nil {
+			t.Fatalf("Standalone(%d): %v", i, err)
+		}
+		if err := sys.Engine().RunTicks(context.Background(), ticks); err != nil {
+			t.Fatalf("standalone run %d: %v", i, err)
+		}
+		wantTrace[i] = traceSHA(t, sys)
+		wantState[i] = roomStateKey(sys)
+	}
+
+	for _, shards := range []int{1, 3, 8} {
+		cfg := base
+		cfg.Shards = shards
 		fl, err := New(context.Background(), cfg)
 		if err != nil {
-			t.Fatalf("New: %v", err)
+			t.Fatalf("New(shards=%d): %v", shards, err)
+		}
+		if !fl.Banked() {
+			t.Fatalf("shards=%d: fleet is not banked with Config.Bank set", shards)
 		}
 		if err := fl.RunTicks(context.Background(), ticks); err != nil {
-			t.Fatalf("RunTicks: %v", err)
+			t.Fatalf("RunTicks(shards=%d): %v", shards, err)
 		}
-		return fl
+		for i := 0; i < buildings; i++ {
+			if got := roomStateKey(fl.Building(i)); got != wantState[i] {
+				t.Errorf("shards=%d building %d: banked zone state diverged from standalone", shards, i)
+			}
+			if got := traceSHA(t, fl.Building(i)); got != wantTrace[i] {
+				t.Errorf("shards=%d building %d: banked trace %s != standalone %s",
+					shards, i, got[:12], wantTrace[i][:12])
+			}
+		}
 	}
-	shared, perBuilding := mk(), mk()
+}
 
-	shared.SetOutdoor(33.0, 27.8)
-	for i := 0; i < buildings; i++ {
-		perBuilding.Building(i).Room().SetOutdoor(psychro.NewStateDewPoint(33.0, 27.8, 0))
+// TestFleetTickSteadyStateAllocs pins the fleet tick allocation-free in
+// steady state: once histograms have learned their variance ranges and
+// the cadence-wheel and network backings have grown, an entire epoch
+// allocates only the worker-pool dispatch scaffolding (the per-epoch
+// jobs slice and its closures — 3 objects on the single-shard fast
+// path), independent of the tick count covered.
+func TestFleetTickSteadyStateAllocs(t *testing.T) {
+	for _, bank := range []bool{true, false} {
+		t.Run(fmt.Sprintf("bank=%v", bank), func(t *testing.T) {
+			cfg := DefaultConfig(12)
+			cfg.Shards = 1
+			cfg.EpochTicks = 256
+			cfg.Bank = bank
+			f, err := New(context.Background(), cfg)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			ctx := context.Background()
+			// Warm up past the adaptive layer's range-learning phase (the
+			// paper's var_max settles within ~1.5 simulated hours).
+			if err := f.RunTicks(ctx, 12000); err != nil {
+				t.Fatalf("warm-up: %v", err)
+			}
+			avg := testing.AllocsPerRun(5, func() {
+				if err := f.RunTicks(ctx, 256); err != nil {
+					t.Fatalf("RunTicks: %v", err)
+				}
+			})
+			if avg > 4 {
+				t.Errorf("steady-state fleet epoch allocated %.1f objects, want <= 4 (dispatch scaffolding only)", avg)
+			}
+		})
 	}
+}
 
-	if err := shared.RunTicks(context.Background(), ticks); err != nil {
-		t.Fatalf("RunTicks after SetOutdoor: %v", err)
-	}
-	if err := perBuilding.RunTicks(context.Background(), ticks); err != nil {
-		t.Fatalf("RunTicks after per-building SetOutdoor: %v", err)
-	}
-	for i := 0; i < buildings; i++ {
-		a, b := traceSHA(t, shared.Building(i)), traceSHA(t, perBuilding.Building(i))
-		if a != b {
-			t.Errorf("building %d: fleet SetOutdoor trace %s != per-building %s", i, a[:12], b[:12])
-		}
-		if got := shared.Building(i).Room().Outdoor().T; got != 33.0 {
-			t.Errorf("building %d: outdoor T = %v after fleet SetOutdoor, want 33", i, got)
-		}
+// TestFleetSetOutdoorMatchesPerBuilding pins the shared-climate fast
+// path: installing one precomputed Climate across the fleet — a bank-level
+// SetClimateAll per shard on the banked path, a per-system loop otherwise —
+// must be bit-identical to each building recomputing its own boundary
+// terms via Room.SetOutdoor. Both updates land mid-epoch: the run is
+// split at ticks 300 and 512+300, neither a multiple of the 512-tick
+// epoch grid, so the banked path proves a weather change between phased
+// epochs reaches every bank row.
+func TestFleetSetOutdoorMatchesPerBuilding(t *testing.T) {
+	const buildings = 4
+	for _, bank := range []bool{true, false} {
+		t.Run(fmt.Sprintf("bank=%v", bank), func(t *testing.T) {
+			cfg := DefaultConfig(buildings)
+			cfg.SampleEvery = 1
+			cfg.MemBudgetBytes = 0
+			cfg.Shards = 2
+			cfg.EpochTicks = 512
+			cfg.Bank = bank
+
+			mk := func() *Fleet {
+				fl, err := New(context.Background(), cfg)
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				if err := fl.RunTicks(context.Background(), 300); err != nil {
+					t.Fatalf("RunTicks: %v", err)
+				}
+				return fl
+			}
+			shared, perBuilding := mk(), mk()
+
+			update := func(tC, dewC float64) {
+				shared.SetOutdoor(tC, dewC)
+				for i := 0; i < buildings; i++ {
+					perBuilding.Building(i).Room().SetOutdoor(psychro.NewStateDewPoint(tC, dewC, 0))
+				}
+			}
+			run := func(n uint64) {
+				if err := shared.RunTicks(context.Background(), n); err != nil {
+					t.Fatalf("RunTicks after SetOutdoor: %v", err)
+				}
+				if err := perBuilding.RunTicks(context.Background(), n); err != nil {
+					t.Fatalf("RunTicks after per-building SetOutdoor: %v", err)
+				}
+			}
+			update(33.0, 27.8)
+			run(512) // crosses the epoch boundary at tick 512
+			update(29.5, 26.0)
+			run(300)
+
+			for i := 0; i < buildings; i++ {
+				a, b := traceSHA(t, shared.Building(i)), traceSHA(t, perBuilding.Building(i))
+				if a != b {
+					t.Errorf("building %d: fleet SetOutdoor trace %s != per-building %s", i, a[:12], b[:12])
+				}
+				if got := shared.Building(i).Room().Outdoor().T; got != 29.5 {
+					t.Errorf("building %d: outdoor T = %v after fleet SetOutdoor, want 29.5", i, got)
+				}
+			}
+		})
 	}
 }
 

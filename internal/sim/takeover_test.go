@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TakeOver + StepTick tests: the fleet's phased-stepping hooks. An engine
+// driven tick-by-tick with its physics stepped externally must be
+// observationally identical to RunTicks with the physics in-line.
+
+// TestStepTickEquivalentToRunTicks drives two identical engines — one via
+// RunTicks, one via per-tick StepTick + FlushCadenced — and requires the
+// same component activation sequences, clock, and RNG stream position.
+func TestStepTickEquivalentToRunTicks(t *testing.T) {
+	build := func() (*Engine, *[]string, *accumCadenced) {
+		e := NewEngine(MustClock(testStart, time.Second), 7)
+		log := &[]string{}
+		e.Register(ComponentFunc{ID: "a", Fn: func(env *Env) {
+			*log = append(*log, fmt.Sprintf("a@%d:%x", env.Tick(), env.RNG().Stream("a").Uint64()&0xff))
+		}})
+		dev := &accumCadenced{name: "dev", periodS: 3}
+		e.Register(dev)
+		e.Register(ComponentFunc{ID: "b", Fn: func(env *Env) {
+			*log = append(*log, fmt.Sprintf("b@%d", env.Tick()))
+		}})
+		e.Timeline().At(testStart.Add(5*time.Second), "ev", func(env *Env) {
+			*log = append(*log, fmt.Sprintf("ev@%d", env.Tick()))
+		})
+		return e, log, dev
+	}
+
+	ref, refLog, refDev := build()
+	if err := ref.RunTicks(context.Background(), 20); err != nil {
+		t.Fatal(err)
+	}
+
+	alt, altLog, altDev := build()
+	for i := 0; i < 20; i++ {
+		if alt.StepTick() {
+			t.Fatalf("StepTick reported a stop with no stop condition installed (tick %d)", i)
+		}
+	}
+	alt.FlushCadenced()
+
+	if fmt.Sprint(*refLog) != fmt.Sprint(*altLog) {
+		t.Errorf("activation logs diverged:\n RunTicks: %v\n StepTick: %v", *refLog, *altLog)
+	}
+	if ref.Clock().Tick() != alt.Clock().Tick() {
+		t.Errorf("clock diverged: %d vs %d", ref.Clock().Tick(), alt.Clock().Tick())
+	}
+	if refDev.ticks != altDev.ticks || fmt.Sprint(refDev.fires) != fmt.Sprint(altDev.fires) {
+		t.Errorf("cadenced coverage diverged: %d/%v vs %d/%v",
+			refDev.ticks, refDev.fires, altDev.ticks, altDev.fires)
+	}
+}
+
+// TestStepTickHonorsStopCondition pins that the stop condition is
+// evaluated inside the tick, as RunTicks does.
+func TestStepTickHonorsStopCondition(t *testing.T) {
+	e := NewEngine(MustClock(testStart, time.Second), 1)
+	e.Register(ComponentFunc{ID: "noop", Fn: func(*Env) {}})
+	e.SetStopCondition(func(env *Env) bool { return env.Tick() >= 4 })
+	calls := 0
+	for calls < 10 {
+		calls++
+		if e.StepTick() {
+			break
+		}
+	}
+	// The condition sees the post-advance env exactly like RunTicks: the
+	// call that starts at tick 3 advances to 4 and stops — the 4th call.
+	if calls != 4 {
+		t.Errorf("stop fired on call %d, want 4", calls)
+	}
+}
+
+// TestTakeOverRemovesFromDelivery pins the takeover contract: after
+// TakeOver the engine no longer steps the component, the caller's own
+// stepping slots into the same observable sequence, and StepStats reports
+// the entry as taken-over.
+func TestTakeOverRemovesFromDelivery(t *testing.T) {
+	// Reference: physics registered last, engine steps everything.
+	build := func() (*Engine, *[]string, *Registration) {
+		e := NewEngine(MustClock(testStart, time.Second), 3)
+		log := &[]string{}
+		e.Register(ComponentFunc{ID: "sensors", Fn: func(env *Env) {
+			*log = append(*log, fmt.Sprintf("s@%d", env.Tick()))
+		}})
+		reg := e.Register(ComponentFunc{ID: "physics", Fn: func(env *Env) {
+			*log = append(*log, fmt.Sprintf("p@%d", env.Tick()))
+		}})
+		return e, log, reg
+	}
+
+	ref, refLog, _ := build()
+	if err := ref.RunTicks(context.Background(), 6); err != nil {
+		t.Fatal(err)
+	}
+
+	alt, altLog, reg := build()
+	reg.TakeOver()
+	if !reg.TakenOver() {
+		t.Fatal("TakenOver() = false after TakeOver")
+	}
+	for i := 0; i < 6; i++ {
+		tick := alt.Clock().Tick()
+		alt.StepTick()
+		// The external driver steps physics at the position it held:
+		// after every other component of the same tick.
+		*altLog = append(*altLog, fmt.Sprintf("p@%d", tick))
+	}
+	alt.FlushCadenced()
+
+	if fmt.Sprint(*refLog) != fmt.Sprint(*altLog) {
+		t.Errorf("takeover sequence diverged:\n engine:   %v\n external: %v", *refLog, *altLog)
+	}
+	stats := alt.StepStats()
+	if stats[1].Kind != "taken-over" {
+		t.Errorf("StepStats kind = %q, want taken-over", stats[1].Kind)
+	}
+	if stats[1].Steps != 0 {
+		t.Errorf("taken-over Steps = %d, want 0 (external calls invisible to scheduler)", stats[1].Steps)
+	}
+}
+
+func TestTakeOverPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	e := NewEngine(MustClock(testStart, time.Second), 1)
+	noop := ComponentFunc{ID: "noop", Fn: func(*Env) {}}
+	mustPanic("TakeOver on cadenced", func() {
+		e.Register(&accumCadenced{name: "cad", periodS: 2}).TakeOver()
+	})
+	mustPanic("TakeOver on on-demand", func() {
+		e.Register(noop, WithOnDemand()).TakeOver()
+	})
+	reg := e.Register(noop)
+	reg.TakeOver()
+	mustPanic("double TakeOver", reg.TakeOver)
+}

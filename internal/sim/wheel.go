@@ -54,6 +54,10 @@ type entry struct {
 	// wheel polls, catch-up) until their Registration resumes them.
 	suspended bool
 
+	// takenOver entries were removed from the every-tick list via
+	// Registration.TakeOver; an external driver steps them directly.
+	takenOver bool
+
 	steps   uint64 // due-tick activations
 	regTick uint64 // clock tick at registration, for skip accounting
 }
@@ -81,11 +85,28 @@ type dueWheel struct {
 func (w *dueWheel) push(ent *entry, tick uint64) {
 	w.count++
 	if ent.nextDue-tick < wheelSlots {
-		s := ent.nextDue & (wheelSlots - 1)
-		w.slots[s] = append(w.slots[s], ent)
+		w.ring(ent)
 		return
 	}
 	w.far.push(ent)
+}
+
+// ring appends ent to its slot. Slot backings rotate through takeDue's
+// spare buffer, so with plain append-doubling each of the ~wheelSlots+1
+// circulating backings would re-allocate several times on its way up from
+// empty — tens of thousands of steady-state allocations across a fleet of
+// engines. A slot can never hold more than the wheel's total entry count,
+// so on growth the backing jumps straight to that capacity: at most one
+// allocation per circulating backing for the engine's life.
+func (w *dueWheel) ring(ent *entry) {
+	s := ent.nextDue & (wheelSlots - 1)
+	slot := w.slots[s]
+	if len(slot) == cap(slot) {
+		grown := make([]*entry, len(slot), w.count)
+		copy(grown, slot)
+		slot = grown
+	}
+	w.slots[s] = append(slot, ent)
 }
 
 // takeDue removes and returns the entries due on tick, sorted by
@@ -95,9 +116,7 @@ func (w *dueWheel) takeDue(tick uint64) []*entry {
 	// Ring far entries that entered the horizon. One comparison per tick
 	// while the earliest far entry is still distant.
 	for len(w.far) > 0 && w.far[0].nextDue-tick < wheelSlots {
-		ent := w.far.pop()
-		s := ent.nextDue & (wheelSlots - 1)
-		w.slots[s] = append(w.slots[s], ent)
+		w.ring(w.far.pop())
 	}
 	s := tick & (wheelSlots - 1)
 	due := w.slots[s]
@@ -236,6 +255,10 @@ func (e *Engine) StepStats() []ComponentStats {
 			kind = "cadenced"
 		case ent.onDemand:
 			kind = "on-demand"
+		case ent.takenOver:
+			// Steps freeze at the takeover count; the external driver's
+			// calls are not visible to the scheduler.
+			kind = "taken-over"
 		}
 		ticks := now - ent.regTick
 		out[i] = ComponentStats{

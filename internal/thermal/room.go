@@ -102,12 +102,19 @@ type derivedState struct {
 	avgDewValid bool
 }
 
-// soaState is the structure-of-arrays prognostic state: zone i's dry-bulb
-// temperature is t[i], its humidity ratio w[i], its CO₂ co2[i]. The batch
-// kernel streams each balance over its own contiguous array instead of
-// striding through an array of ZoneState structs.
-type soaState struct {
+// roomRows is the owned backing store of an unbanked Room: the
+// structure-of-arrays prognostic state (zone i's dry-bulb temperature is
+// t[i], its humidity ratio w[i], its CO₂ co2[i]) plus the folded kernel,
+// boundary, and input rows. A Room never holds this state inline — it
+// holds row pointers that reference either a private roomRows (the scalar
+// path) or one row of a shard-level RoomBank (bank.go), so the batch
+// kernel is the same code either way and the bank path stays bit-identical
+// to standalone by construction.
+type roomRows struct {
 	t, w, co2 [NumZones]float64
+	kern      kernelTerms
+	bnd       boundaryTerms
+	in        zoneInputs
 }
 
 // zoneInputs holds the per-step actuator and load inputs, also laid out
@@ -186,15 +193,22 @@ type boundaryTerms struct {
 // Room is the four-zone laboratory model. It implements sim.Component;
 // actuator inputs (ventilation, panel extraction, condensation) are set by
 // upstream components each tick and consumed during StepBatch.
+//
+// The prognostic state and folded terms live behind row pointers: an
+// unbanked room owns a private roomRows; a banked room views one row of a
+// RoomBank's contiguous shard arrays. Every method reads and writes
+// through the same pointers, so the two layouts execute identical
+// arithmetic.
 type Room struct {
 	cfg Config
 
-	soa  soaState
+	t, w, co2 *[NumZones]float64
+	kern      *kernelTerms
+	bnd       *boundaryTerms
+	in        *zoneInputs
+
 	der  derivedState
 	clim Climate
-	bnd  boundaryTerms
-	kern kernelTerms
-	in   zoneInputs
 
 	doorRemaining   float64 // seconds the door stays open
 	windowRemaining float64
@@ -206,20 +220,36 @@ type Room struct {
 var _ sim.Component = (*Room)(nil)
 
 // NewRoom builds a room whose zones all start in the given initial state
-// with the given CO₂ concentration.
+// with the given CO₂ concentration. The room owns its backing rows.
 func NewRoom(cfg Config, initial psychro.State, initialCO2 float64) (*Room, error) {
-	if err := cfg.Validate(); err != nil {
+	rows := &roomRows{}
+	r := &Room{
+		t: &rows.t, w: &rows.w, co2: &rows.co2,
+		kern: &rows.kern, bnd: &rows.bnd, in: &rows.in,
+	}
+	if err := r.init(cfg, initial, initialCO2); err != nil {
 		return nil, err
 	}
-	r := &Room{cfg: cfg, kern: newKernelTerms(cfg)}
+	return r, nil
+}
+
+// init validates the config and seeds the (already bound) rows — the
+// shared tail of NewRoom and RoomBank.NewRoom.
+func (r *Room) init(cfg Config, initial psychro.State, initialCO2 float64) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	r.cfg = cfg
+	*r.kern = newKernelTerms(cfg)
+	*r.in = zoneInputs{}
 	for i := 0; i < NumZones; i++ {
-		r.soa.t[i] = initial.T
-		r.soa.w[i] = initial.W
-		r.soa.co2[i] = initialCO2
+		r.t[i] = initial.T
+		r.w[i] = initial.W
+		r.co2[i] = initialCO2
 	}
 	r.SetClimate(NewClimate(cfg.Outdoor, cfg.OutdoorCO2PPM))
 	r.recomputeDerived()
-	return r, nil
+	return nil
 }
 
 // recomputeDerived refreshes the eager averages and invalidates the lazy
@@ -228,9 +258,9 @@ func NewRoom(cfg Config, initial psychro.State, initialCO2 float64) (*Room, erro
 func (r *Room) recomputeDerived() {
 	var sumT, sumW, sumCO2 float64
 	for i := 0; i < NumZones; i++ {
-		sumT += r.soa.t[i]
-		sumW += r.soa.w[i]
-		sumCO2 += r.soa.co2[i]
+		sumT += r.t[i]
+		sumW += r.w[i]
+		sumCO2 += r.co2[i]
 	}
 	r.der.avgT = sumT / NumZones
 	r.der.avgW = sumW / NumZones
@@ -258,7 +288,7 @@ func (r *Room) Zone(id ZoneID) ZoneState {
 	if !id.Valid() {
 		return ZoneState{}
 	}
-	return ZoneState{T: r.soa.t[id], W: r.soa.w[id], CO2PPM: r.soa.co2[id]}
+	return ZoneState{T: r.t[id], W: r.w[id], CO2PPM: r.co2[id]}
 }
 
 // AverageT returns the room-average dry-bulb temperature (°C) — the
@@ -337,7 +367,7 @@ func (r *Room) SetClimate(c Climate) {
 	r.cfg.Outdoor = c.Out
 	r.cfg.OutdoorCO2PPM = c.CO2PPM
 
-	b := &r.bnd
+	b := r.bnd
 	b.outT, b.outW, b.outCO2 = c.Out.T, c.Out.W, c.CO2PPM
 	infVol := r.cfg.InfiltrationACH * r.cfg.ZoneVolume / 3600 // m³/s
 	b.envInfQ = r.cfg.EnvelopeUA/NumZones + infVol*c.RhoOut*cpAir
@@ -460,12 +490,10 @@ func (r *Room) Step(env *sim.Env) { r.StepBatch(env.Dt()) }
 // zoneFlows computes one zone's balance totals (heat W, moisture kg/s,
 // CO₂ ppm·m³/s) from register-resident state. tn1/wn1/cn1 and tn2/wn2/cn2
 // are the two grid neighbours (the 2×2 adjacency is compile-time fixed);
-// qx/wx/cx are the zone's fused outdoor-exchange coefficients. Always
-// inlined into StepBatch.
-func (r *Room) zoneFlows(i int, ti, wi, ci, tn1, tn2, wn1, wn2, cn1, cn2, qx, wx, cx float64) (q, wf, cf float64) {
-	k := &r.kern
-	b := &r.bnd
-	in := &r.in
+// qx/wx/cx are the zone's fused outdoor-exchange coefficients. A free
+// function taking the row pointers explicitly, so StepBatch loads them
+// once instead of re-chasing the Room's row bindings per call.
+func zoneFlows(k *kernelTerms, b *boundaryTerms, in *zoneInputs, i int, ti, wi, ci, tn1, tn2, wn1, wn2, cn1, cn2, qx, wx, cx float64) (q, wf, cf float64) {
 	mdot := k.izf * k.air.Density(ti) // inter-zone dry-air mass flow
 	q = qx*(b.outT-ti) +
 		mdot*cpAir*((tn1-ti)+(tn2-ti)) +
@@ -500,8 +528,8 @@ func (r *Room) zoneFlows(i int, ti, wi, ci, tn1, tn2, wn1, wn2, cn1, cn2, qx, wx
 //
 //bzlint:hotpath
 func (r *Room) StepBatch(dt float64) {
-	k := &r.kern
-	b := &r.bnd
+	k := r.kern
+	b := r.bnd
 
 	// Fused outdoor-exchange coefficients: envelope + infiltration on
 	// every zone, plus the door leak on subspace-1 and the window leak on
@@ -524,16 +552,17 @@ func (r *Room) StepBatch(dt float64) {
 	kMoistDt := k.kInvMoist * dt
 	kCO2Dt := k.invVol * dt
 
-	t0, t1, t2, t3 := r.soa.t[0], r.soa.t[1], r.soa.t[2], r.soa.t[3]
-	w0, w1, w2, w3 := r.soa.w[0], r.soa.w[1], r.soa.w[2], r.soa.w[3]
-	c0, c1, c2, c3 := r.soa.co2[0], r.soa.co2[1], r.soa.co2[2], r.soa.co2[3]
+	t0, t1, t2, t3 := r.t[0], r.t[1], r.t[2], r.t[3]
+	w0, w1, w2, w3 := r.w[0], r.w[1], r.w[2], r.w[3]
+	c0, c1, c2, c3 := r.co2[0], r.co2[1], r.co2[2], r.co2[3]
 
 	// Zone neighbourhoods (see adjacency): 0↔{1,2}, 1↔{0,3}, 2↔{0,3},
 	// 3↔{1,2}.
-	q0, wf0, cf0 := r.zoneFlows(0, t0, w0, c0, t1, t2, w1, w2, c1, c2, qx0, wx0, cx0)
-	q1, wf1, cf1 := r.zoneFlows(1, t1, w1, c1, t0, t3, w0, w3, c0, c3, b.envInfQ, b.infW, b.infC)
-	q2, wf2, cf2 := r.zoneFlows(2, t2, w2, c2, t0, t3, w0, w3, c0, c3, qx2, wx2, cx2)
-	q3, wf3, cf3 := r.zoneFlows(3, t3, w3, c3, t1, t2, w1, w2, c1, c2, b.envInfQ, b.infW, b.infC)
+	in := r.in
+	q0, wf0, cf0 := zoneFlows(k, b, in, 0, t0, w0, c0, t1, t2, w1, w2, c1, c2, qx0, wx0, cx0)
+	q1, wf1, cf1 := zoneFlows(k, b, in, 1, t1, w1, c1, t0, t3, w0, w3, c0, c3, b.envInfQ, b.infW, b.infC)
+	q2, wf2, cf2 := zoneFlows(k, b, in, 2, t2, w2, c2, t0, t3, w0, w3, c0, c3, qx2, wx2, cx2)
+	q3, wf3, cf3 := zoneFlows(k, b, in, 3, t3, w3, c3, t1, t2, w1, w2, c1, c2, b.envInfQ, b.infW, b.infC)
 
 	// Integrate. q / heatCap = q · T_K · R/(P·V·cp·mult): the capacity
 	// divides collapse into multiplies because ρ = P/(R·T_K). The moisture
@@ -577,9 +606,9 @@ func (r *Room) StepBatch(dt float64) {
 		c3 = 0
 	}
 
-	r.soa.t = [NumZones]float64{t0, t1, t2, t3}
-	r.soa.w = [NumZones]float64{w0, w1, w2, w3}
-	r.soa.co2 = [NumZones]float64{c0, c1, c2, c3}
+	*r.t = [NumZones]float64{t0, t1, t2, t3}
+	*r.w = [NumZones]float64{w0, w1, w2, w3}
+	*r.co2 = [NumZones]float64{c0, c1, c2, c3}
 
 	// Derived averages, fused into the pass (left-associated in zone order,
 	// the same bits recomputeDerived would produce); the expensive lazy
