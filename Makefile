@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-fix-hints race race-fault bench-smoke bench-baseline bench-tick bench-tick-json bench-fleet bench-fleet-json benchguard repin ci
+.PHONY: all build test vet lint lint-fix-hints race race-fault bench-smoke bench-baseline bench-tick bench-tick-json bench-fleet bench-fleet-json bench-http bench-http-json benchguard repin ci
 
 all: build
 
@@ -79,6 +79,23 @@ bench-fleet-json:
 	$(GO) test -bench FleetTick -benchmem -benchtime 3x -count 6 -run '^$$' . \
 		| tee /dev/stderr | sh scripts/bench_json.sh > BENCH_fleet.json
 
+# HTTP service-layer smoke: one BenchmarkHTTPQuery iteration — keeps the
+# bubblezerod handler benchmark (create/run/query through the real mux)
+# compiling and running in CI without paying for a timed measurement.
+# The benchmark lives in internal/twin, NOT the root bench binary: linking
+# the twin server into the root test binary measurably perturbs the
+# RoomStep kernel's code layout (~10% — enough to trip benchguard).
+bench-http:
+	$(GO) test -bench HTTPQuery -benchtime 1x -benchmem -run '^$$' ./internal/twin
+
+# Record the HTTP query throughput (queries/s against a live 1k-building
+# twin) as BENCH_http.json — the baseline scripts/benchguard gates
+# against. Best of -count 6 (bench_json.sh keeps the fastest run),
+# matching the other baselines' measurement procedure.
+bench-http-json:
+	$(GO) test -bench HTTPQuery -benchmem -benchtime 2000x -count 6 -run '^$$' ./internal/twin \
+		| tee /dev/stderr | sh scripts/bench_json.sh > BENCH_http.json
+
 # Regression gate: fail when a guarded rate (BenchmarkSystemTick ticks/s,
 # BenchmarkFleetTick/N1000xS8 building-ticks/s) falls more than
 # BENCHGUARD_PCT (default 10%) below its committed baseline. Best-of-BENCHGUARD_COUNT runs, so one noisy scheduling slice
@@ -96,5 +113,5 @@ repin:
 	@test -n "$(REASON)" || { echo 'make repin requires REASON="why the bits moved"' >&2; exit 1; }
 	$(GO) run ./cmd/goldendump -repin internal/experiments/testdata/golden_epoch.json -reason "$(REASON)"
 
-ci: benchguard vet lint race-fault race bench-smoke bench-tick bench-fleet
+ci: benchguard vet lint race-fault race bench-smoke bench-tick bench-fleet bench-http
 	@echo ci: OK

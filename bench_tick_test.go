@@ -146,7 +146,7 @@ func TestSystemTickZeroAllocWithFaultPlan(t *testing.T) {
 	// growth does not count as tick work.
 	samples := (chunks+1)*ticksPer/int(cfg.TracePeriod/time.Second) + 4
 	for _, name := range sys.Recorder().Names() {
-		sys.Recorder().Open(name).Grow(samples)
+		sys.Recorder().Series(name).Grow(samples)
 	}
 	allocs := testing.AllocsPerRun(chunks, func() {
 		if err := sys.Engine().RunTicks(ctx, ticksPer); err != nil {

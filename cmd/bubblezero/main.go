@@ -1,5 +1,8 @@
 // Command bubblezero runs the full BubbleZERO system and streams its state
-// — the simulated equivalent of watching the paper's deployment logs.
+// — the simulated equivalent of watching the paper's deployment logs. It
+// drives a one-building fleet through the same event API the digital-twin
+// server (bubblezerod) exposes: door disturbances are fleet events applied
+// at run boundaries, not ad-hoc mutations.
 //
 //	bubblezero -duration 105m -door 65m:15s -door 85m:2m -csv trace.csv
 package main
@@ -10,10 +13,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"time"
 
 	"bubblezero/internal/core"
+	"bubblezero/internal/fleet"
 	"bubblezero/internal/thermal"
 	"bubblezero/internal/wsn"
 )
@@ -32,6 +37,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bubblezero:", err)
 		os.Exit(1)
 	}
+}
+
+// doorAt is one scheduled opening, resolved to the tick boundary where
+// its fleet event is applied.
+type doorAt struct {
+	tick uint64
+	dur  time.Duration
 }
 
 func run() error {
@@ -63,20 +75,46 @@ func run() error {
 	if *fixed {
 		cfg.TxMode = wsn.ModeFixed
 	}
-	sys, err := core.NewSystem(cfg)
-	if err != nil {
+
+	// A one-building fleet: the CLI dogfoods the same construction and
+	// mutation route the twin server uses. No per-building variation —
+	// the building runs the loaded config as-is (seeded from the fleet
+	// seed).
+	fc := fleet.Config{Buildings: 1, Shards: 1, Seed: *seed, Base: cfg}
+	if cfg.TracePeriod > 0 {
+		fc.SampleEvery = 1
+	}
+	if err := fc.Validate(); err != nil {
 		return err
 	}
-	start := sys.Now()
 
+	step := cfg.Step
+	total := uint64(*duration / step)
+	repTicks := uint64(*report / step)
+	if repTicks == 0 {
+		repTicks = 1
+	}
+
+	// Door openings become fleet events applied at their offset's tick
+	// boundary — the run below is segmented so each event lands exactly
+	// there (offsets truncate to whole ticks).
+	var openings []doorAt
 	for _, spec := range doors {
 		offset, dur, err := parseDoor(spec)
 		if err != nil {
 			return err
 		}
-		sys.OpenDoorAt(start.Add(offset), dur)
+		openings = append(openings, doorAt{tick: uint64(offset / step), dur: dur})
 		fmt.Printf("scheduled door opening at +%v for %v\n", offset, dur)
 	}
+	sort.Slice(openings, func(i, j int) bool { return openings[i].tick < openings[j].tick })
+
+	fl, err := fleet.New(ctx, fc)
+	if err != nil {
+		return err
+	}
+	sys := fl.Building(0)
+	start := sys.Now()
 
 	var sniffer *wsn.Sniffer
 	if *sniff != "" {
@@ -94,24 +132,45 @@ func run() error {
 	fmt.Printf("BubbleZERO: %d nodes, outdoor %.1f°C / %.1f°C dew, targets 25°C / 18°C dew\n",
 		sys.Network().NodeCount(), sys.Room().Outdoor().T, sys.Room().Outdoor().DewPoint())
 
-	for elapsed := time.Duration(0); elapsed < *duration; elapsed += *report {
-		chunk := *report
-		if remaining := *duration - elapsed; chunk > remaining {
-			chunk = remaining
+	// Segment the run at door offsets and report boundaries: queued door
+	// events drain at the top of the next RunTicks, so an event queued at
+	// a segment boundary takes effect at exactly that tick.
+	var tick uint64
+	nextReport := repTicks
+	di := 0
+	for tick < total {
+		for di < len(openings) && openings[di].tick <= tick {
+			if err := fl.Apply(fleet.Event{Kind: fleet.EventDoor, Building: 0, Door: openings[di].dur}); err != nil {
+				return err
+			}
+			di++
 		}
-		if err := sys.Run(ctx, chunk); err != nil {
+		next := nextReport
+		if next > total {
+			next = total
+		}
+		if di < len(openings) && openings[di].tick > tick && openings[di].tick < next {
+			next = openings[di].tick
+		}
+		if err := fl.RunTicks(ctx, next-tick); err != nil {
 			return err
 		}
-		sn := sys.Snapshot()
-		fmt.Printf("%s  zones[", sn.Time.Format("15:04"))
-		for z := 0; z < thermal.NumZones; z++ {
-			if z > 0 {
-				fmt.Print(" ")
+		tick = next
+		if tick >= nextReport || tick == total {
+			sn := sys.Snapshot()
+			fmt.Printf("%s  zones[", sn.Time.Format("15:04"))
+			for z := 0; z < thermal.NumZones; z++ {
+				if z > 0 {
+					fmt.Print(" ")
+				}
+				fmt.Printf("%.1f/%.1f", sn.ZoneTempC[z], sn.ZoneDewC[z])
 			}
-			fmt.Printf("%.1f/%.1f", sn.ZoneTempC[z], sn.ZoneDewC[z])
+			fmt.Printf("]°C  COP %.2f  net %.1f%%  cond %.0fs\n",
+				sn.COPTotal, sn.NetStats.DeliveryRate()*100, sn.CondensationS)
+			for tick >= nextReport {
+				nextReport += repTicks
+			}
 		}
-		fmt.Printf("]°C  COP %.2f  net %.1f%%  cond %.0fs\n",
-			sn.COPTotal, sn.NetStats.DeliveryRate()*100, sn.CondensationS)
 	}
 
 	sn := sys.Snapshot()

@@ -83,19 +83,19 @@ type traceSeries struct {
 func openTraceSeries(rec *trace.Recorder) traceSeries {
 	var ts traceSeries
 	for z := 0; z < thermal.NumZones; z++ {
-		ts.zoneTemp[z] = rec.Open(fmt.Sprintf("temp.subsp%d", z+1))
-		ts.zoneDew[z] = rec.Open(fmt.Sprintf("dew.subsp%d", z+1))
-		ts.zoneCO2[z] = rec.Open(fmt.Sprintf("co2.subsp%d", z+1))
+		ts.zoneTemp[z] = rec.Series(fmt.Sprintf("temp.subsp%d", z+1))
+		ts.zoneDew[z] = rec.Series(fmt.Sprintf("dew.subsp%d", z+1))
+		ts.zoneCO2[z] = rec.Series(fmt.Sprintf("co2.subsp%d", z+1))
 	}
-	ts.outdoorTemp = rec.Open("temp.outdoor")
-	ts.outdoorDew = rec.Open("dew.outdoor")
-	ts.avgTemp = rec.Open("temp.avg")
-	ts.avgDew = rec.Open("dew.avg")
-	ts.tankRadiant = rec.Open("tank.radiant")
-	ts.tankVent = rec.Open("tank.vent")
-	ts.copTotal = rec.Open("cop.total")
-	ts.copRadiant = rec.Open("cop.radiant")
-	ts.copVent = rec.Open("cop.vent")
+	ts.outdoorTemp = rec.Series("temp.outdoor")
+	ts.outdoorDew = rec.Series("dew.outdoor")
+	ts.avgTemp = rec.Series("temp.avg")
+	ts.avgDew = rec.Series("dew.avg")
+	ts.tankRadiant = rec.Series("tank.radiant")
+	ts.tankVent = rec.Series("tank.vent")
+	ts.copTotal = rec.Series("cop.total")
+	ts.copRadiant = rec.Series("cop.radiant")
+	ts.copVent = rec.Series("cop.vent")
 	return ts
 }
 
@@ -277,6 +277,16 @@ func assemble(cfg *Config, o *sysOpts) (*System, error) {
 // FaultPlan returns the fault plan the system was armed with (nil when
 // running fault-free).
 func (s *System) FaultPlan() *fault.Plan { return s.plan }
+
+// ApplyFaults schedules the plan's events on the engine timeline with
+// offsets relative to base — the live-injection entry point. For
+// construction-time plans use WithFaultPlan instead, which also arms the
+// degradation watchdog; a live-injected plan does not (arming changes the
+// engine's registration order, which must stay a pure function of the
+// construction inputs for snapshot restore to rebuild it).
+func (s *System) ApplyFaults(base time.Time, plan *fault.Plan) error {
+	return plan.Apply(s.engine.Timeline(), base, s.faultTarget())
+}
 
 // Engine returns the simulation engine (for scheduling scenario events).
 func (s *System) Engine() *sim.Engine { return s.engine }

@@ -22,7 +22,7 @@ func TestRecordTraceZeroAlloc(t *testing.T) {
 
 	const runs = 1000
 	for _, name := range sys.Recorder().Names() {
-		sys.Recorder().Open(name).Grow(runs + 2) // +warmup call headroom
+		sys.Recorder().Series(name).Grow(runs + 2) // +warmup call headroom
 	}
 	now := sys.Now()
 	allocs := testing.AllocsPerRun(runs, func() {

@@ -1,0 +1,13 @@
+package energy
+
+// BatteryState is a Battery's mutable state (capacity is construction
+// config), exported for digital-twin snapshots.
+type BatteryState struct {
+	UsedJ float64
+}
+
+// ExportState captures the consumed energy.
+func (b *Battery) ExportState() BatteryState { return BatteryState{UsedJ: b.usedJ} }
+
+// RestoreState overwrites the consumed energy.
+func (b *Battery) RestoreState(st BatteryState) { b.usedJ = st.UsedJ }

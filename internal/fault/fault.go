@@ -72,6 +72,18 @@ func (k Kind) String() string {
 	return fmt.Sprintf("fault.Kind(%d)", int(k))
 }
 
+// ParseKind maps a stable kind name ("sensor-stuck", "jam", …) back to
+// its Kind — the inverse of String, for wire-format parsing.
+func ParseKind(s string) (Kind, error) {
+	//bzlint:ordered names are unique, so at most one iteration matches regardless of order
+	for k, name := range kindNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown kind %q", s)
+}
+
 // Loop names a hydraulic loop for plant-side faults.
 type Loop string
 

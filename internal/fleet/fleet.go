@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 	"time"
 
 	"bubblezero/internal/core"
-	"bubblezero/internal/psychro"
 	"bubblezero/internal/runner"
 	"bubblezero/internal/sim"
 	"bubblezero/internal/thermal"
@@ -38,6 +38,13 @@ type Fleet struct {
 	dtS              float64 // step in seconds, the engines' integration dt
 	ticks            uint64  // ticks advanced so far
 	bytesPerBuilding int64   // measured live-heap delta at construction
+
+	// Live-mutation queue and journal (event.go). evMu guards both:
+	// Apply may race RunTicks, which drains the queue at epoch
+	// boundaries.
+	evMu      sync.Mutex
+	pendingEv []Event
+	journal   []AppliedEvent
 }
 
 // New validates cfg, instantiates the fleet's buildings in parallel, and
@@ -327,6 +334,9 @@ func stepShardBanked(ctx context.Context, systems []*core.System, bank *thermal.
 // length.
 func (f *Fleet) RunTicks(ctx context.Context, n uint64) error {
 	for n > 0 {
+		if err := f.drainEvents(); err != nil {
+			return err
+		}
 		t := f.epochTicks
 		if t > n {
 			t = n
@@ -349,29 +359,6 @@ func (f *Fleet) RunTicks(ctx context.Context, n uint64) error {
 // ticks, matching System.Run).
 func (f *Fleet) Run(ctx context.Context, d time.Duration) error {
 	return f.RunTicks(ctx, uint64(d/f.step))
-}
-
-// SetOutdoor installs a new outdoor boundary condition (dry bulb and dew
-// point, °C) on every building — a fleet-wide weather update between
-// epochs. The derived psychrometric terms (the Magnus dew point, the
-// density divide) are computed once into a shared thermal.Climate and
-// installed everywhere by assignment, so the update costs O(N) multiplies
-// rather than O(N) transcendentals. It routes through the same NewClimate
-// a room's own SetOutdoor uses, so the shared install is bit-identical to
-// updating each building individually. On the banked path the install is
-// one SetClimateAll per shard bank — a linear sweep of the contiguous
-// rooms instead of N System→Room pointer chases.
-func (f *Fleet) SetOutdoor(tC, dewC float64) {
-	c := thermal.NewClimate(psychro.NewStateDewPoint(tC, dewC, 0), f.cfg.Base.Thermal.OutdoorCO2PPM)
-	if f.banks != nil {
-		for _, bank := range f.banks {
-			bank.SetClimateAll(c)
-		}
-		return
-	}
-	for _, sys := range f.buildings {
-		sys.Room().SetClimate(c)
-	}
 }
 
 // Buildings returns the fleet size.

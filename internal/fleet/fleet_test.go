@@ -298,15 +298,15 @@ func TestFleetTickSteadyStateAllocs(t *testing.T) {
 	}
 }
 
-// TestFleetSetOutdoorMatchesPerBuilding pins the shared-climate fast
-// path: installing one precomputed Climate across the fleet — a bank-level
-// SetClimateAll per shard on the banked path, a per-system loop otherwise —
-// must be bit-identical to each building recomputing its own boundary
-// terms via Room.SetOutdoor. Both updates land mid-epoch: the run is
-// split at ticks 300 and 512+300, neither a multiple of the 512-tick
-// epoch grid, so the banked path proves a weather change between phased
-// epochs reaches every bank row.
-func TestFleetSetOutdoorMatchesPerBuilding(t *testing.T) {
+// TestFleetClimateEventMatchesPerBuilding pins the shared-climate fast
+// path behind the event API: a queued EventClimate — applied at the next
+// epoch boundary as a bank-level SetClimateAll per shard on the banked
+// path, a per-system loop otherwise — must be bit-identical to each
+// building recomputing its own boundary terms via Room.SetOutdoor. Both
+// updates land between RunTicks calls at ticks 300 and 512+300, neither a
+// multiple of the 512-tick epoch grid, so the banked path proves a
+// weather change between phased epochs reaches every bank row.
+func TestFleetClimateEventMatchesPerBuilding(t *testing.T) {
 	const buildings = 4
 	for _, bank := range []bool{true, false} {
 		t.Run(fmt.Sprintf("bank=%v", bank), func(t *testing.T) {
@@ -330,14 +330,16 @@ func TestFleetSetOutdoorMatchesPerBuilding(t *testing.T) {
 			shared, perBuilding := mk(), mk()
 
 			update := func(tC, dewC float64) {
-				shared.SetOutdoor(tC, dewC)
+				if err := shared.Apply(Event{Kind: EventClimate, TC: tC, DewC: dewC}); err != nil {
+					t.Fatalf("Apply climate event: %v", err)
+				}
 				for i := 0; i < buildings; i++ {
 					perBuilding.Building(i).Room().SetOutdoor(psychro.NewStateDewPoint(tC, dewC, 0))
 				}
 			}
 			run := func(n uint64) {
 				if err := shared.RunTicks(context.Background(), n); err != nil {
-					t.Fatalf("RunTicks after SetOutdoor: %v", err)
+					t.Fatalf("RunTicks after climate event: %v", err)
 				}
 				if err := perBuilding.RunTicks(context.Background(), n); err != nil {
 					t.Fatalf("RunTicks after per-building SetOutdoor: %v", err)
@@ -351,11 +353,14 @@ func TestFleetSetOutdoorMatchesPerBuilding(t *testing.T) {
 			for i := 0; i < buildings; i++ {
 				a, b := traceSHA(t, shared.Building(i)), traceSHA(t, perBuilding.Building(i))
 				if a != b {
-					t.Errorf("building %d: fleet SetOutdoor trace %s != per-building %s", i, a[:12], b[:12])
+					t.Errorf("building %d: climate-event trace %s != per-building %s", i, a[:12], b[:12])
 				}
 				if got := shared.Building(i).Room().Outdoor().T; got != 29.5 {
-					t.Errorf("building %d: outdoor T = %v after fleet SetOutdoor, want 29.5", i, got)
+					t.Errorf("building %d: outdoor T = %v after climate event, want 29.5", i, got)
 				}
+			}
+			if j := shared.Journal(); len(j) != 2 || j[0].Tick != 300 || j[1].Tick != 812 {
+				t.Errorf("journal = %+v, want two climate entries at ticks 300 and 812", j)
 			}
 		})
 	}

@@ -33,7 +33,7 @@ func DefaultConfig() Config {
 		"sim": true, "core": true, "wsn": true, "adaptive": true,
 		"fault": true, "thermal": true, "hydraulic": true,
 		"radiant": true, "vent": true, "multihop": true, "trace": true,
-		"fleet": true,
+		"fleet": true, "twin": true,
 	}
 	feq := map[string]bool{"psychro": true}
 	for k := range det {

@@ -1,0 +1,35 @@
+package pid
+
+// State is a Controller's mutable state, exported for digital-twin
+// snapshots. The configuration is not part of the state: restore targets a
+// controller rebuilt from the same config.
+type State struct {
+	Setpoint float64
+	Integral float64
+	PrevMeas float64
+	HasPrev  bool
+	Frozen   bool
+	LastOut  float64
+}
+
+// ExportState captures the controller's mutable state.
+func (c *Controller) ExportState() State {
+	return State{
+		Setpoint: c.setpoint,
+		Integral: c.integral,
+		PrevMeas: c.prevMeas,
+		HasPrev:  c.hasPrev,
+		Frozen:   c.frozen,
+		LastOut:  c.lastOut,
+	}
+}
+
+// RestoreState overwrites the controller's mutable state.
+func (c *Controller) RestoreState(st State) {
+	c.setpoint = st.Setpoint
+	c.integral = st.Integral
+	c.prevMeas = st.PrevMeas
+	c.hasPrev = st.HasPrev
+	c.frozen = st.Frozen
+	c.lastOut = st.LastOut
+}

@@ -53,6 +53,16 @@ func (tl *Timeline) fire(env *Env) {
 	}
 }
 
+// dropThrough discards, without firing, every pending event scheduled at
+// or before t. Restore-from-snapshot uses it: a rebuilt system re-schedules
+// its full timeline, then drops the prefix the original run had already
+// fired (their effects are part of the captured state).
+func (tl *Timeline) dropThrough(t time.Time) {
+	for tl.h.Len() > 0 && !tl.h[0].At.After(t) {
+		heap.Pop(&tl.h)
+	}
+}
+
 type eventHeap []*Event
 
 var _ heap.Interface = (*eventHeap)(nil)

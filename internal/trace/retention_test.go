@@ -18,7 +18,7 @@ func appendN(t *testing.T, s *Series, start, n int) {
 }
 
 func TestSetRetentionKeepsMostRecentWindow(t *testing.T) {
-	s := NewRecorder().Open("win")
+	s := NewRecorder().Series("win")
 	appendN(t, s, 0, 10)
 	s.SetRetention(4)
 	if got := s.Len(); got != 4 {
@@ -62,7 +62,7 @@ func TestSetRetentionKeepsMostRecentWindow(t *testing.T) {
 }
 
 func TestSetRetentionZeroRestoresUnbounded(t *testing.T) {
-	s := NewRecorder().Open("back")
+	s := NewRecorder().Series("back")
 	s.SetRetention(3)
 	appendN(t, s, 0, 8) // ring holds 5, 6, 7
 	s.SetRetention(0)
@@ -83,7 +83,7 @@ func TestSetRetentionZeroRestoresUnbounded(t *testing.T) {
 }
 
 func TestRetentionRejectsOutOfOrderAcrossWrap(t *testing.T) {
-	s := NewRecorder().Open("order")
+	s := NewRecorder().Series("order")
 	s.SetRetention(2)
 	appendN(t, s, 0, 5)
 	if err := s.Append(retT0.Add(3*time.Second), 3); err == nil {
@@ -93,7 +93,7 @@ func TestRetentionRejectsOutOfOrderAcrossWrap(t *testing.T) {
 
 func TestWriteExactCoversRingSeries(t *testing.T) {
 	r := NewRecorder()
-	s := r.Open("ring")
+	s := r.Series("ring")
 	s.SetRetention(2)
 	appendN(t, s, 0, 4)
 	var sb strings.Builder
@@ -119,7 +119,7 @@ func TestRecorderRecordZeroAlloc(t *testing.T) {
 	const rounds = 1000
 
 	r := NewRecorder()
-	grown := r.Open("grown")
+	grown := r.Series("grown")
 	grown.Grow(rounds + 1)
 	i := 0
 	allocs := testing.AllocsPerRun(rounds, func() {
@@ -132,7 +132,7 @@ func TestRecorderRecordZeroAlloc(t *testing.T) {
 		t.Errorf("Record on a pre-grown series allocates %.2f per op, want 0", allocs)
 	}
 
-	ring := r.Open("ring")
+	ring := r.Series("ring")
 	ring.SetRetention(64)
 	// Fill past capacity first so the measured window is pure slot reuse.
 	appendN(t, ring, 0, 200)
