@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-fix-hints race race-fault bench-smoke bench-baseline bench-tick bench-tick-json bench-fleet bench-fleet-json bench-http bench-http-json benchguard repin ci
+.PHONY: all build test vet fmt-check lint lint-fix-hints race race-fault bench-smoke bench-baseline bench-tick bench-tick-json bench-fleet bench-fleet-json bench-http bench-http-json benchguard repin ci
 
 all: build
 
@@ -17,12 +17,26 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Formatting gate: fail listing any file gofmt would rewrite. Runs ahead
+# of lint in ci so bzlint's position-based diagnostics always refer to
+# canonically formatted source.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "fmt-check: FAIL — gofmt would rewrite:" >&2; \
+		echo "$$unformatted" >&2; \
+		echo "fmt-check: run \`gofmt -w .\`" >&2; \
+		exit 1; \
+	fi; \
+	echo "fmt-check: OK"
+
 race:
 	$(GO) test -race ./...
 
-# Static invariants: the bzlint determinism / hot-path / float-compare /
-# deprecated-API analyzers over the whole tree (DESIGN.md §7). Exit 1 on
-# any unwaived diagnostic.
+# Static invariants: the seven bzlint analyzers (determinism, hotpath,
+# floateq, deprecated, statecov, lockcheck, mutroute) plus the
+# stale-waiver report over the whole tree (DESIGN.md §7). Exit 1 on any
+# unwaived diagnostic.
 lint:
 	$(GO) run ./cmd/bzlint ./...
 
@@ -113,5 +127,5 @@ repin:
 	@test -n "$(REASON)" || { echo 'make repin requires REASON="why the bits moved"' >&2; exit 1; }
 	$(GO) run ./cmd/goldendump -repin internal/experiments/testdata/golden_epoch.json -reason "$(REASON)"
 
-ci: benchguard vet lint race-fault race bench-smoke bench-tick bench-fleet bench-http
+ci: benchguard fmt-check vet lint race-fault race bench-smoke bench-tick bench-fleet bench-http
 	@echo ci: OK

@@ -5,6 +5,8 @@ import "fmt"
 // HistogramState is a Histogram's mutable state. The cached slot width is
 // not stored: restore recomputes it from the same (varMin, varMax, n)
 // operands, yielding the same float.
+//
+//bzlint:state ExportState RestoreState
 type HistogramState struct {
 	VarMin, VarMax float64
 	Counts         []uint32
@@ -41,6 +43,8 @@ func (h *Histogram) RestoreState(st HistogramState) error {
 // SchedulerState is a Scheduler's mutable state. TrackExact schedulers
 // (the Figure 12/13 evaluation mode, never used in assembled systems) are
 // not snapshotable: the exact clusterer holds unbounded history.
+//
+//bzlint:state ExportState RestoreState
 type SchedulerState struct {
 	Window      []float64
 	WPos        int

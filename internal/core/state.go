@@ -24,6 +24,8 @@ import (
 
 // WatchdogState is the degradation watchdog's mutable state; present in a
 // snapshot exactly when the exporting system was armed with a fault plan.
+//
+//bzlint:state ExportState RestoreState
 type WatchdogState struct {
 	TempAtS   [thermal.NumZones]float64
 	TempVal   [thermal.NumZones]float64
@@ -44,6 +46,8 @@ type WatchdogState struct {
 // DeviceState pairs a sensor device's node ID with its exported state so
 // restore can verify the rebuilt topology put the same device at the same
 // position.
+//
+//bzlint:state ExportState RestoreState
 type DeviceState struct {
 	ID    wsn.NodeID
 	State wsn.SensorDeviceState
@@ -53,6 +57,8 @@ type DeviceState struct {
 // plant physics, hydraulics, control modules, radio layer, accounting, and
 // traces. The wSurfMemo condensation cache is deliberately absent — restore
 // keys it to NaN and the next glue tick recomputes the same bits.
+//
+//bzlint:state ExportState RestoreState
 type SystemState struct {
 	Engine sim.EngineState
 

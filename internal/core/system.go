@@ -284,6 +284,8 @@ func (s *System) FaultPlan() *fault.Plan { return s.plan }
 // degradation watchdog; a live-injected plan does not (arming changes the
 // engine's registration order, which must stay a pure function of the
 // construction inputs for snapshot restore to rebuild it).
+//
+//bzlint:mutsetter fleet.Apply
 func (s *System) ApplyFaults(base time.Time, plan *fault.Plan) error {
 	return plan.Apply(s.engine.Timeline(), base, s.faultTarget())
 }
@@ -297,6 +299,8 @@ func (s *System) Engine() *sim.Engine { return s.engine }
 // step order, so a caller that runs Engine.StepTick and then steps the
 // room (directly or via RoomBank.StepAll) executes the exact sequence the
 // engine would have: sensors → network → controllers → glue → physics.
+//
+//bzlint:mutsetter fleet.Apply
 func (s *System) TakeOverRoom() { s.roomReg.TakeOver() }
 
 // Room returns the thermal model.
@@ -375,7 +379,11 @@ func (s *System) Run(ctx context.Context, d time.Duration) error {
 // Now returns the current simulated time.
 func (s *System) Now() time.Time { return s.engine.Clock().Now() }
 
-// OpenDoorAt schedules a door-opening disturbance.
+// OpenDoorAt schedules a door-opening disturbance. The setter runs
+// inside a timeline closure at a deterministic simulated instant, which
+// is the standalone-system analogue of a journaled event.
+//
+//bzlint:mutroute fleet.Apply timeline-scheduled: fires at a deterministic simulated instant, standalone systems have no journal
 func (s *System) OpenDoorAt(at time.Time, d time.Duration) {
 	s.engine.Timeline().At(at, "door-open", func(*sim.Env) { s.room.OpenDoor(d) })
 }
@@ -385,7 +393,11 @@ func (s *System) OpenWindowAt(at time.Time, d time.Duration) {
 	s.engine.Timeline().At(at, "window-open", func(*sim.Env) { s.room.OpenWindow(d) })
 }
 
-// SetOccupantsAt schedules an occupancy change in a subspace.
+// SetOccupantsAt schedules an occupancy change in a subspace. The
+// setter runs inside a timeline closure at a deterministic simulated
+// instant, which is the standalone-system analogue of a journaled event.
+//
+//bzlint:mutroute fleet.Apply timeline-scheduled: fires at a deterministic simulated instant, standalone systems have no journal
 func (s *System) SetOccupantsAt(at time.Time, zone thermal.ZoneID, n int) {
 	s.engine.Timeline().At(at, "occupancy", func(*sim.Env) { s.room.SetOccupants(zone, n) })
 }

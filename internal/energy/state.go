@@ -2,6 +2,8 @@ package energy
 
 // BatteryState is a Battery's mutable state (capacity is construction
 // config), exported for digital-twin snapshots.
+//
+//bzlint:state ExportState RestoreState
 type BatteryState struct {
 	UsedJ float64
 }

@@ -161,6 +161,8 @@ func (f *Fleet) drainEvents() error {
 // applyNow applies one event at the boundary after `tick` completed
 // ticks. Restore replays fault events through the same function with the
 // journaled tick, so the scheduled instants reproduce exactly.
+//
+//bzlint:mutroute fleet.Apply the route itself: every journaled event lands here
 func (f *Fleet) applyNow(ev Event, tick uint64) error {
 	switch ev.Kind {
 	case EventClimate:

@@ -26,6 +26,8 @@ const defaultEpochTicks = 512
 // shard's buildings bind their zone state into one contiguous
 // thermal.RoomBank and the shard steps tick-phased: engines first, then
 // one fused StepAll physics pass over the whole bank.
+//
+//bzlint:guards evMu pendingEv,journal
 type Fleet struct {
 	cfg       Config
 	shards    [][]*core.System    // disjoint contiguous blocks of buildings
@@ -50,6 +52,8 @@ type Fleet struct {
 // New validates cfg, instantiates the fleet's buildings in parallel, and
 // partitions them into shards. Construction measures the live-heap cost
 // per building and fails if it exceeds cfg.MemBudgetBytes.
+//
+//bzlint:mutroute fleet.Apply construction: the fleet is not running yet and takeover precedes the first tick
 func New(ctx context.Context, cfg Config) (*Fleet, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -186,6 +190,8 @@ func sharedHandles(cfg Config) (quiet, sampled *core.Shared, err error) {
 // template + the deterministic per-building parameterisation. A non-nil
 // bank binds the building's zone state into the given bank row; the
 // assembled system is bit-identical either way.
+//
+//bzlint:mutroute fleet.Apply construction: deterministic per-building parameterisation before the first tick
 func newBuilding(cfg *Config, quiet, sampled *core.Shared, i int, bank *thermal.RoomBank, row int) (*core.System, error) {
 	p := cfg.ParamsFor(i)
 	opts := make([]core.Option, 0, 4)

@@ -8,6 +8,8 @@ import "math"
 // the same operands, so results are bit-identical either way.
 
 // PumpState is a Pump's mutable state.
+//
+//bzlint:state ExportState RestoreState
 type PumpState struct {
 	Voltage float64
 	Derate  float64
@@ -27,6 +29,8 @@ func (p *Pump) RestoreState(st PumpState) {
 }
 
 // TankState is a Tank's mutable state.
+//
+//bzlint:state ExportState RestoreState
 type TankState struct {
 	Tripped      bool
 	Temp         float64
@@ -62,6 +66,8 @@ func (t *Tank) RestoreState(st TankState) {
 }
 
 // MixingLoopState is a MixingLoop's mutable state, pumps included.
+//
+//bzlint:state ExportState RestoreState
 type MixingLoopState struct {
 	Supply  PumpState
 	Recycle PumpState

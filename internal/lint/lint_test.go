@@ -43,40 +43,43 @@ func runFixture(t *testing.T, name string) []Diagnostic {
 
 var wantRe = regexp.MustCompile("`([^`]*)`")
 
-// checkGolden matches diagnostics against the fixture's want comments.
-func checkGolden(t *testing.T, name string, diags []Diagnostic) {
+// checkGolden matches diagnostics against the want comments of one or
+// more fixture directories (cross-package fixtures span two).
+func checkGolden(t *testing.T, name string, diags []Diagnostic, moreNames ...string) {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", name)
 	type key struct {
 		file string
 		line int
 	}
 	expected := map[key][]*regexp.Regexp{}
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, e := range ents {
-		path := filepath.Join(dir, e.Name())
-		data, err := os.ReadFile(path)
+	for _, n := range append([]string{name}, moreNames...) {
+		dir := filepath.Join("testdata", "src", n)
+		ents, err := os.ReadDir(dir)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for i, line := range strings.Split(string(data), "\n") {
-			idx := strings.Index(line, "// want ")
-			if idx < 0 {
-				continue
+		for _, e := range ents {
+			path := filepath.Join(dir, e.Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
 			}
-			k := key{path, i + 1}
-			for _, m := range wantRe.FindAllStringSubmatch(line[idx:], -1) {
-				re, err := regexp.Compile(m[1])
-				if err != nil {
-					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+			for i, line := range strings.Split(string(data), "\n") {
+				idx := strings.Index(line, "// want ")
+				if idx < 0 {
+					continue
 				}
-				expected[k] = append(expected[k], re)
-			}
-			if len(expected[k]) == 0 {
-				t.Fatalf("%s:%d: want comment without a backtick-quoted pattern", path, i+1)
+				k := key{path, i + 1}
+				for _, m := range wantRe.FindAllStringSubmatch(line[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+					}
+					expected[k] = append(expected[k], re)
+				}
+				if len(expected[k]) == 0 {
+					t.Fatalf("%s:%d: want comment without a backtick-quoted pattern", path, i+1)
+				}
 			}
 		}
 	}
@@ -128,6 +131,134 @@ func TestFloatEqGolden(t *testing.T) {
 
 func TestDeprecatedGolden(t *testing.T) {
 	checkGolden(t, "oldapi", runFixture(t, "oldapi"))
+}
+
+func TestStatecovGolden(t *testing.T) {
+	checkGolden(t, "statecov", runFixture(t, "statecov"))
+}
+
+func TestLockcheckGolden(t *testing.T) {
+	checkGolden(t, "lockcheck", runFixture(t, "lockcheck"))
+}
+
+// TestMutrouteGolden loads the setter and caller halves of the fixture
+// as separate packages: the analyzer must see the cross-package call
+// graph exactly as `make lint` sees the real tree.
+func TestMutrouteGolden(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := l.LoadDir(filepath.Join("testdata", "src", "mutset"), "bzlint.test/mutset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	call, err := l.LoadDir(filepath.Join("testdata", "src", "mutcall"), "bzlint.test/mutcall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(l.Fset, []*Package{set, call}, fixtureConfig())
+	checkGolden(t, "mutset", diags, "mutcall")
+}
+
+// TestStaleAllow pins the stale-waiver report: a consumed waiver is
+// silent, an ordered waiver with no map range left and an allow waiver
+// whose finding is gone are both reported. (The diagnostics land on the
+// waivers' own comment lines, which a want comment cannot annotate
+// without becoming part of the waiver reason, hence direct assertions.)
+func TestStaleAllow(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "stale"), "bzlint.test/stale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Deterministic: map[string]bool{"stale": true},
+		FloatEq:       map[string]bool{"stale": true},
+		StaleAllow:    true,
+	}
+	var stale []Diagnostic
+	for _, d := range Run(l.Fset, []*Package{pkg}, cfg) {
+		if d.Analyzer != "staleallow" {
+			t.Errorf("unexpected non-staleallow diagnostic: %s", d)
+			continue
+		}
+		stale = append(stale, d)
+	}
+	if len(stale) != 2 {
+		t.Fatalf("got %d staleallow diagnostics %v, want 2", len(stale), stale)
+	}
+	if !strings.Contains(stale[0].Message, "//bzlint:ordered waiver suppresses no diagnostic") {
+		t.Errorf("stale[0] = %q, want stale-ordered report", stale[0].Message)
+	}
+	if !strings.Contains(stale[1].Message, "//bzlint:allow floateq waiver suppresses no diagnostic") {
+		t.Errorf("stale[1] = %q, want stale-allow report", stale[1].Message)
+	}
+
+	// With StaleAllow off the same package is clean: the consumed waiver
+	// suppresses its map range and nothing else fires.
+	cfg.StaleAllow = false
+	if diags := Run(l.Fset, []*Package{pkg}, cfg); len(diags) != 0 {
+		t.Errorf("StaleAllow=false: got %d diagnostics %v, want 0", len(diags), diags)
+	}
+}
+
+// TestConfigScopeByPathSuffix pins the base-name collision fix: two
+// packages both named "trace" at different import paths must be
+// scopeable independently with a path-suffix key, while a bare name key
+// still matches both.
+func TestConfigScopeByPathSuffix(t *testing.T) {
+	load := func(t *testing.T) (*Loader, []*Package) {
+		t.Helper()
+		l, err := NewLoader(".")
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := l.LoadDir(filepath.Join("testdata", "src", "scope", "trace"), "bzlint.test/scope/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := l.LoadDir(filepath.Join("testdata", "src", "scope2", "trace"), "bzlint.test/scope2/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l, []*Package{a, b}
+	}
+
+	t.Run("path-suffix key scopes one package", func(t *testing.T) {
+		l, pkgs := load(t)
+		cfg := Config{Deterministic: map[string]bool{"scope/trace": true}}
+		diags := Run(l.Fset, pkgs, cfg)
+		if len(diags) != 1 {
+			t.Fatalf("got %d diagnostics %v, want 1", len(diags), diags)
+		}
+		if !strings.Contains(filepath.ToSlash(diags[0].Pos.Filename), "src/scope/trace/") {
+			t.Errorf("diagnostic in %s, want the scope/trace package only", diags[0].Pos.Filename)
+		}
+	})
+
+	t.Run("bare name key matches both", func(t *testing.T) {
+		l, pkgs := load(t)
+		cfg := Config{Deterministic: map[string]bool{"trace": true}}
+		if diags := Run(l.Fset, pkgs, cfg); len(diags) != 2 {
+			t.Fatalf("got %d diagnostics %v, want 2 (one per package)", len(diags), diags)
+		}
+	})
+
+	t.Run("full path key matches exactly", func(t *testing.T) {
+		l, pkgs := load(t)
+		cfg := Config{Deterministic: map[string]bool{"bzlint.test/scope2/trace": true}}
+		diags := Run(l.Fset, pkgs, cfg)
+		if len(diags) != 1 {
+			t.Fatalf("got %d diagnostics %v, want 1", len(diags), diags)
+		}
+		if !strings.Contains(filepath.ToSlash(diags[0].Pos.Filename), "src/scope2/trace/") {
+			t.Errorf("diagnostic in %s, want the scope2/trace package only", diags[0].Pos.Filename)
+		}
+	})
 }
 
 // TestMalformedDirectives pins the meta-diagnostics: a waiver without a

@@ -100,6 +100,12 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
+	// Cache first: packages loaded explicitly via LoadDir (including
+	// fixture packages outside the module path, like the cross-package
+	// testdata fixtures) resolve by identity before any path heuristic.
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg.Types, nil
+	}
 	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
 		pkg, err := l.loadPath(path)
 		if err != nil {

@@ -1,0 +1,24 @@
+// Package mutcall is the caller half of the mutroute fixture: an
+// audited route member (legal), a bypassing caller (finding), and a
+// waived call site.
+package mutcall
+
+import "bzlint.test/mutset"
+
+// Apply is the audited route entry point.
+//
+//bzlint:mutroute apply.Route the journaled entry point of this fixture
+func Apply(r *mutset.Room, n int) {
+	r.SetOcc(n)
+}
+
+// Bypass reaches around the route from another package.
+func Bypass(r *mutset.Room) {
+	r.SetOcc(1) // want `call to \(\*bzlint\.test/mutset\.Room\)\.SetOcc bypasses mutation route apply\.Route`
+}
+
+// Waived carries a reasoned waiver on the direct call.
+func Waived(r *mutset.Room) {
+	//bzlint:allow mutroute fixture: construction helper outside the setter package
+	r.SetOcc(2)
+}

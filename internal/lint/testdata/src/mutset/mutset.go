@@ -1,0 +1,25 @@
+// Package mutset is the setter half of the mutroute fixture: it
+// declares a guarded mutation setter and calls it in-package, which is
+// always legal (construction and restore live next to the state they
+// mutate).
+package mutset
+
+// Room is the mutable state the route guards.
+type Room struct {
+	occ int
+}
+
+// SetOcc mutates the room.
+//
+//bzlint:mutsetter apply.Route
+func (r *Room) SetOcc(n int) {
+	r.occ = n
+}
+
+// NewRoom calls the setter from the setter's own package — negative
+// case, construction is exempt.
+func NewRoom(n int) *Room {
+	r := &Room{}
+	r.SetOcc(n)
+	return r
+}

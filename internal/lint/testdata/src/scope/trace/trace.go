@@ -1,0 +1,14 @@
+// Package trace (under scope/) shares its base name with the package
+// under scope2/ — the Config path-suffix scoping fixture. Each package
+// holds one map range; a path-scoped Deterministic key must flag exactly
+// its own package.
+package trace
+
+// FirstKey ranges a map — a determinism finding when this package is in
+// scope.
+func FirstKey(m map[int]int) int {
+	for k := range m {
+		return k
+	}
+	return 0
+}

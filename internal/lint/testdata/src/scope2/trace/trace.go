@@ -1,0 +1,12 @@
+// Package trace (under scope2/) shares its base name with the package
+// under scope/ — see that package's comment.
+package trace
+
+// FirstKey ranges a map — a determinism finding when this package is in
+// scope.
+func FirstKey(m map[int]int) int {
+	for k := range m {
+		return k
+	}
+	return 0
+}

@@ -9,8 +9,8 @@ import (
 )
 
 func wallClock() time.Duration {
-	t := time.Now()       // want `time\.Now reads the wall clock`
-	return time.Since(t)  // want `time\.Since reads the wall clock`
+	t := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(t) // want `time\.Since reads the wall clock`
 }
 
 func globalRand() int {

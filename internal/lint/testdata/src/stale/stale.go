@@ -1,0 +1,27 @@
+// Package stale is the staleallow fixture: one consumed //bzlint:ordered
+// waiver (not reported), one ordered waiver with no map range left, and
+// one allow waiver whose finding is gone.
+package stale
+
+// Sum consumes its waiver: the map range below is a real diagnostic the
+// waiver suppresses.
+func Sum(m map[string]int) int {
+	s := 0
+	//bzlint:ordered sum is commutative, iteration order is immaterial
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Plain has no map range left; its ordered waiver is stale.
+func Plain() int {
+	//bzlint:ordered the loop this excused was deleted
+	return 1
+}
+
+// Ratio has no float comparison left; its allow waiver is stale.
+func Ratio() float64 {
+	//bzlint:allow floateq the comparison this excused was deleted
+	return 2.5
+}

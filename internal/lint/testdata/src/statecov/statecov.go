@@ -1,0 +1,83 @@
+// Package statecov is the statecov analyzer fixture: a fully threaded
+// state struct (negative case), a struct with unthreaded, unexported,
+// and unserializable fields (positive cases), a per-field waiver, a
+// directive naming missing functions, and a directive on a non-struct.
+package statecov
+
+import "time"
+
+// Machine is the live object the state structs snapshot.
+type Machine struct {
+	a float64
+	b int
+	t time.Time
+	n Nest
+}
+
+// GoodState is fully threaded through Export and Restore — every line
+// below is a negative case.
+//
+//bzlint:state Export Restore
+type GoodState struct {
+	A  float64
+	B  int
+	At time.Time // self-serializing via MarshalBinary: no gob finding
+}
+
+// BadState exercises the positive cases: an unthreaded field, a
+// gob-invisible unexported field, unserializable field types, a field
+// reaching a struct with unexported fields, and a waived field.
+//
+//bzlint:state Export Restore
+type BadState struct {
+	Seen    float64
+	Dropped float64  // want `field BadState.Dropped is not referenced in capture function Export` `field BadState.Dropped is not referenced in restore function Restore`
+	hidden  int      // want `unexported field BadState.hidden is invisible to gob`
+	Fn      func()   // want `field BadState.Fn cannot round-trip through gob: func types are not serializable`
+	Ch      chan int // want `field BadState.Ch cannot round-trip through gob: chan types are not serializable`
+	In      Nest     // want `field BadState.In cannot round-trip through gob: reaches struct with unexported field x, which gob drops silently`
+	//bzlint:allow statecov derived cache in this fixture, rebuilt on restore
+	Waived float64
+}
+
+// Nest has an unexported field, making any state field of this type
+// gob-invisible in part.
+type Nest struct {
+	x int
+}
+
+// Orphan names capture/restore functions the package does not declare.
+//
+//bzlint:state CaptureMissing RestoreMissing
+type Orphan struct { // want `state struct Orphan names CaptureMissing in //bzlint:state, but package statecov declares no such function` `state struct Orphan names RestoreMissing in //bzlint:state, but package statecov declares no such function`
+	X int
+}
+
+// NotStruct cannot carry field coverage at all.
+//
+//bzlint:state Export Restore
+type NotStruct int // want `//bzlint:state directive on NotStruct, which is not a struct type`
+
+// Export captures every threaded field of both annotated structs.
+func Export(m *Machine) (GoodState, BadState) {
+	b := BadState{Seen: m.a}
+	b.hidden = m.b
+	b.Fn = nil
+	b.Ch = nil
+	b.In = m.n
+	return GoodState{A: m.a, B: m.b, At: m.t}, b
+}
+
+// Restore patches every threaded field of both annotated structs.
+func Restore(m *Machine, g GoodState, b BadState) {
+	m.a = g.A + b.Seen
+	m.b = g.B + b.hidden
+	m.t = g.At
+	m.n = b.In
+	if b.Fn != nil {
+		b.Fn()
+	}
+	if b.Ch != nil {
+		close(b.Ch)
+	}
+}

@@ -3,6 +3,8 @@ package pid
 // State is a Controller's mutable state, exported for digital-twin
 // snapshots. The configuration is not part of the state: restore targets a
 // controller rebuilt from the same config.
+//
+//bzlint:state ExportState RestoreState
 type State struct {
 	Setpoint float64
 	Integral float64

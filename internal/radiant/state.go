@@ -8,6 +8,8 @@ import (
 // ModuleState is the radiant module's full mutable state, loops and PIDs
 // included. TPref travels because SetTPref mutates it at runtime; each
 // PID state carries its own setpoint.
+//
+//bzlint:state ExportState RestoreState
 type ModuleState struct {
 	TPref float64
 

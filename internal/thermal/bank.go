@@ -126,6 +126,8 @@ func (bk *RoomBank) StepRange(lo, hi int, dt float64) {
 // room — the bank-level form of the fleet's shared-climate install. The
 // heavy psychrometric terms live in the Climate itself (NewClimate), so
 // this is pure coefficient folding per row.
+//
+//bzlint:mutsetter fleet.Apply
 func (bk *RoomBank) SetClimateAll(c Climate) {
 	for _, r := range bk.rooms {
 		if r != nil {

@@ -353,6 +353,8 @@ func (r *Room) OutdoorDewPoint() float64 { return r.clim.Dew }
 func (r *Room) Climate() Climate { return r.clim }
 
 // SetOutdoor updates the outdoor boundary condition mid-run.
+//
+//bzlint:mutsetter fleet.Apply
 func (r *Room) SetOutdoor(s psychro.State) {
 	r.SetClimate(NewClimate(s, r.cfg.OutdoorCO2PPM))
 }
@@ -361,6 +363,8 @@ func (r *Room) SetOutdoor(s psychro.State) {
 // outdoor-exchange coefficients. The heavy terms (dew point, density)
 // live in the Climate itself, so installing a shared Climate across a
 // fleet costs only multiplies per building.
+//
+//bzlint:mutsetter fleet.Apply
 func (r *Room) SetClimate(c Climate) {
 	r.clim = c
 	// Keep the Config view coherent for callers that read it back.
@@ -435,6 +439,8 @@ func (r *Room) SetCondensation(id ZoneID, kgPerS float64) {
 
 // SetOccupants sets the number of people in a zone. The per-person loads
 // are folded into per-zone totals here, off the per-tick path.
+//
+//bzlint:mutsetter fleet.Apply
 func (r *Room) SetOccupants(id ZoneID, n int) {
 	if !id.Valid() || n < 0 {
 		return
@@ -457,6 +463,8 @@ func (r *Room) Occupants(id ZoneID) int {
 // OpenDoor opens the door (subspace-1) for the given duration, exchanging
 // outdoor air at the configured DoorFlow. Reopening while already open
 // extends the interval.
+//
+//bzlint:mutsetter fleet.Apply
 func (r *Room) OpenDoor(d time.Duration) {
 	if s := d.Seconds(); s > r.doorRemaining {
 		r.doorRemaining = s

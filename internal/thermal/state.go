@@ -7,6 +7,8 @@ import "math"
 // raw actuator/load input rows. Inputs are restored as the raw folded
 // arrays rather than by replaying the setters — SetVent's density memo
 // needs the supply pressure, which the folded rows no longer carry.
+//
+//bzlint:state ExportState RestoreState
 type RoomState struct {
 	T, W, CO2 [NumZones]float64
 

@@ -120,8 +120,79 @@ func TestQueryValidation(t *testing.T) {
 	if _, err := s.Query(Query{From: t0, To: t0.Add(time.Second)}, nil); err == nil {
 		t.Error("zero step must be rejected")
 	}
+	if _, err := s.Query(Query{From: t0, To: t0.Add(time.Second), Step: -time.Second}, nil); err == nil {
+		t.Error("negative step must be rejected")
+	}
 	if _, err := s.Query(Query{From: t0.Add(time.Second), To: t0, Step: time.Second}, nil); err == nil {
 		t.Error("inverted window must be rejected")
+	}
+	// A recycled buffer passed alongside a rejected query comes back
+	// untruncated — validation must not clobber the caller's data.
+	buf := []QueryPoint{{Value: 42, OK: true}}
+	out, err := s.Query(Query{From: t0, To: t0.Add(time.Second)}, buf)
+	if err == nil {
+		t.Fatal("zero step must be rejected")
+	}
+	if len(out) != 1 || out[0].Value != 42 {
+		t.Errorf("rejected query mangled the caller's buffer: %v", out)
+	}
+}
+
+// A query over a series that has never seen a sample is not an error: it
+// reports the full bucket grid, every bucket empty, under every aggregate.
+func TestQueryEmptySeries(t *testing.T) {
+	s := NewRecorder().Series("empty")
+	q := Query{From: t0, To: t0.Add(10 * time.Second), Step: 2 * time.Second}
+	for _, agg := range []Agg{AggLast, AggMin, AggMax, AggMean} {
+		q.Agg = agg
+		pts, err := s.Query(q, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", agg, err)
+		}
+		if len(pts) != 6 {
+			t.Fatalf("%v: got %d buckets, want 6", agg, len(pts))
+		}
+		for k, p := range pts {
+			if p.OK {
+				t.Errorf("%v bucket %d reports data in an empty series", agg, k)
+			}
+			wantAt := t0.Add(time.Duration(2*k) * time.Second)
+			if !p.At.Equal(wantAt) {
+				t.Errorf("%v bucket %d at %v, want %v", agg, k, p.At, wantAt)
+			}
+		}
+	}
+}
+
+// A query window that ends before the oldest retained sample — e.g. a
+// dashboard asking for history the ring has already turned past — yields
+// the full bucket grid with every bucket empty. AggLast has no carry to
+// offer either: the surviving samples are all after the window, and a
+// later sample must never flow backwards into an earlier bucket.
+func TestQueryWindowOutsideRetention(t *testing.T) {
+	s := NewRecorder().Series("gone")
+	s.SetRetention(8)
+	for i := 0; i < 100; i++ {
+		if err := s.Append(t0.Add(time.Duration(i)*time.Second), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Ring now holds t0+92s .. t0+99s; query t0 .. t0+30s, fully evicted.
+	q := Query{From: t0, To: t0.Add(30 * time.Second), Step: 5 * time.Second}
+	for _, agg := range []Agg{AggLast, AggMin, AggMax, AggMean} {
+		q.Agg = agg
+		pts, err := s.Query(q, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", agg, err)
+		}
+		if len(pts) != 7 {
+			t.Fatalf("%v: got %d buckets, want 7", agg, len(pts))
+		}
+		for k, p := range pts {
+			if p.OK {
+				t.Errorf("%v bucket %d = %v reports data from a fully evicted window", agg, k, p.Value)
+			}
+		}
 	}
 }
 

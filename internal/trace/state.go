@@ -8,6 +8,8 @@ package trace
 
 // SeriesState is one series' captured contents in time order, plus its
 // retention mode.
+//
+//bzlint:state ExportState RestoreState
 type SeriesState struct {
 	Name      string
 	Retention int // ring capacity; 0 for unbounded chunked storage
@@ -15,6 +17,8 @@ type SeriesState struct {
 }
 
 // RecorderState is every series in creation order.
+//
+//bzlint:state ExportState RestoreState
 type RecorderState struct {
 	Series []SeriesState
 }

@@ -37,6 +37,8 @@ type Server struct {
 
 // registry is the ID→twin map. Its own lock stays separate from the
 // twins' run locks so a slow simulation never blocks the listing.
+//
+//bzlint:guards mu twins,next
 type registry struct {
 	mu    sync.Mutex
 	twins map[string]*Twin

@@ -78,7 +78,11 @@ const runChunkTicks = 512
 
 // Twin is one live simulation: a fleet plus a background runner that
 // advances it on demand. All exported methods are safe for concurrent use
-// by HTTP handlers.
+// by HTTP handlers. When both locks are taken, mu nests inside nothing:
+// the runner and every reader release mu before touching runMu.
+//
+//bzlint:guards mu fl
+//bzlint:guards runMu pending,runErr
 type Twin struct {
 	cfg   Config
 	start time.Time // simulated start instant; query offsets are relative to it
@@ -173,6 +177,11 @@ func (t *Twin) Status() Status {
 }
 
 // Apply injects a live event; it lands at the next epoch boundary.
+// Lock-free by design: the fl pointer is immutable after construction and
+// fleet.Apply synchronizes internally (evMu), so taking mu here would
+// only serialize event injection against long run chunks.
+//
+//bzlint:allow lockcheck fl pointer is immutable after construction; fleet.Apply locks evMu internally
 func (t *Twin) Apply(ev fleet.Event) error { return t.fl.Apply(ev) }
 
 // View runs fn with exclusive access to the fleet, between run chunks.

@@ -11,11 +11,15 @@ import (
 // ZoneObsState is one subspace's observation state (NaN before data).
 // The humidity-ratio memo is not captured: restore keys it to NaN so the
 // next control pass recomputes from the same observation pair.
+//
+//bzlint:state ExportState RestoreState
 type ZoneObsState struct {
 	Temp, RH, CO2 float64
 }
 
 // AirboxState is one airbox's mutable state, pump and PID included.
+//
+//bzlint:state ExportState RestoreState
 type AirboxState struct {
 	FanFlow    float64
 	FlapOpen   bool
@@ -30,6 +34,8 @@ type AirboxState struct {
 // ModuleState is the ventilation module's full mutable state. TPref/RHPref
 // travel because SetPreference mutates them at runtime; the psychrometric
 // memos are rebuilt cold (same pure functions, same arguments, same bits).
+//
+//bzlint:state ExportState RestoreState
 type ModuleState struct {
 	TPref, RHPref float64
 

@@ -15,6 +15,8 @@ import (
 // the same topology from the same config.
 
 // NodeState is one mote's mutable state.
+//
+//bzlint:state ExportState RestoreState
 type NodeState struct {
 	ID      NodeID
 	Seq     uint32
@@ -22,6 +24,8 @@ type NodeState struct {
 }
 
 // NetworkState is the Network's mutable state.
+//
+//bzlint:state ExportState RestoreState
 type NetworkState struct {
 	Nodes     []NodeState // sorted by ID
 	Stats     Stats
@@ -79,6 +83,8 @@ func (n *Network) RestoreState(st NetworkState) error {
 }
 
 // SensorDeviceState is a SensorDevice's mutable state.
+//
+//bzlint:state ExportState RestoreState
 type SensorDeviceState struct {
 	SinceSample float64
 	Stuck       bool
@@ -130,6 +136,8 @@ func (d *SensorDevice) RestoreState(st SensorDeviceState) error {
 }
 
 // PeriodicBroadcasterState is a PeriodicBroadcaster's mutable state.
+//
+//bzlint:state ExportState RestoreState
 type PeriodicBroadcasterState struct {
 	Since float64
 }
